@@ -1,0 +1,19 @@
+"""Figure 2 — motivation: the 5x burst overloads the all-on-prem deployment.
+
+Regenerates the latency spikes / failure behaviour of Figure 2: per-API latency at the
+normal load vs. under the burst with every component on-prem.
+"""
+
+from _shared import run_once, social_testbed
+
+from repro.analysis import figure2_burst_motivation, format_table
+
+
+def test_fig02_burst_motivation(benchmark):
+    testbed = social_testbed()
+    rows = run_once(benchmark, lambda: figure2_burst_motivation(testbed))
+    print()
+    print(format_table(rows, title="Figure 2: all-on-prem under the 5x burst"))
+    # The burst must visibly degrade at least some APIs (the motivation for migrating).
+    assert max(row["slowdown"] for row in rows) > 1.5
+    assert all(row["latency_1x_ms"] > 0 for row in rows)

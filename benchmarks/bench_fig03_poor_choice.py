@@ -1,0 +1,17 @@
+"""Figure 3 — a poor choice of components to offload vs Atlas's recommendation."""
+
+from _shared import run_once, social_methods, social_testbed
+
+from repro.analysis import figure3_poor_choice, format_table
+
+
+def test_fig03_poor_choice(benchmark):
+    testbed = social_testbed()
+    methods = social_methods()
+    rows = run_once(benchmark, lambda: figure3_poor_choice(testbed, methods))
+    print()
+    print(format_table(rows, title="Figure 3: poor choice vs Atlas (measured slowdown)"))
+    worst_poor = max(row["poor_choice_slowdown"] for row in rows)
+    worst_atlas = max(row["atlas_slowdown"] for row in rows)
+    # The poor (greedy busiest-first) choice degrades the worst-hit API far more.
+    assert worst_poor > worst_atlas

@@ -1,0 +1,37 @@
+"""Figure 7 — delay injection approximates the post-migration latency distribution."""
+
+import numpy as np
+from _shared import run_once, social_methods, social_testbed
+
+from repro.analysis import figure7_latency_distribution, format_mapping
+
+
+def test_fig07_latency_distribution(benchmark):
+    testbed = social_testbed()
+    atlas = social_methods()["atlas"]
+    result = run_once(
+        benchmark,
+        lambda: figure7_latency_distribution(testbed, atlas.recommendation, api="/homeTimeline"),
+    )
+    print()
+    print(
+        format_mapping(
+            {
+                "api": result["api"],
+                "estimated_mean_ms": result["estimated_mean_ms"],
+                "measured_mean_ms": result["measured_mean_ms"],
+                "estimated_p95_ms": float(np.percentile(result["estimated_latencies_ms"], 95)),
+                "measured_p95_ms": float(np.percentile(result["measured_latencies_ms"], 95)),
+            },
+            title="Figure 7: /homeTimeline latency distribution (estimate vs measured)",
+        )
+    )
+    assert result["estimated_latencies_ms"] and result["measured_latencies_ms"]
+    # The estimated mean should land in the same ballpark as the measured one.
+    assert result["estimated_mean_ms"] == pytest_approx(result["measured_mean_ms"], rel=0.6)
+
+
+def pytest_approx(value, rel):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

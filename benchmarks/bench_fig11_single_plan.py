@@ -1,0 +1,30 @@
+"""Figure 11 — Atlas vs the single-plan approaches (per-API latency and daily cost)."""
+
+import math
+
+from _shared import run_once, social_methods, social_testbed
+
+from repro.analysis import figure11_single_plan, format_table
+
+
+def test_fig11_single_plan(benchmark):
+    testbed = social_testbed()
+    methods = social_methods()
+    result = run_once(benchmark, lambda: figure11_single_plan(testbed, methods))
+    print()
+    print(format_table(result["latency_rows"], title="Figure 11a: measured per-API latency (ms)"))
+    print(format_table(result["cost_rows"], title="Figure 11b: cloud cost per day (USD)"))
+
+    # Shape check: averaged over APIs, Atlas's plan is at least as fast as every
+    # single-plan baseline (the paper reports it is consistently the lowest).
+    def mean_latency(method):
+        values = [
+            row[f"{method}_ms"]
+            for row in result["latency_rows"]
+            if not math.isnan(row.get(f"{method}_ms", float("nan")))
+        ]
+        return sum(values) / len(values)
+
+    atlas_mean = mean_latency("atlas")
+    for method in ("greedy-largest", "greedy-smallest", "remap", "intma"):
+        assert atlas_mean <= mean_latency(method) * 1.05

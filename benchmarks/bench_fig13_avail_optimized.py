@@ -1,0 +1,24 @@
+"""Figure 13 — availability-optimized plans from all seven methods."""
+
+from _shared import run_once, social_methods, social_testbed
+
+from repro.analysis import figure12_14_optimized_plans, format_table
+
+
+def test_fig13_availability_optimized(benchmark):
+    testbed = social_testbed()
+    methods = social_methods()
+    rows = run_once(
+        benchmark,
+        lambda: figure12_14_optimized_plans(
+            testbed, methods, objective="availability", measure=False
+        ),
+    )
+    print()
+    print(format_table(rows, title="Figure 13: availability-optimized plans"))
+    by_method = {row["method"]: row for row in rows}
+    atlas_disrupted = by_method["atlas"]["disrupted_apis"]
+    # Atlas can always offer a plan with the fewest disrupted APIs.
+    assert atlas_disrupted == min(row["disrupted_apis"] for row in rows)
+    # And it never disrupts the single-plan baselines' level when they do disrupt.
+    assert atlas_disrupted <= by_method["remap"]["disrupted_apis"]

@@ -1,0 +1,64 @@
+"""Figure 15 — cost-vs-performance Pareto fronts on both applications."""
+
+from _shared import (
+    hotel_methods,
+    hotel_testbed,
+    run_once,
+    social_methods,
+    social_testbed,
+)
+
+from repro.analysis import figure15_pareto_front, format_series
+from repro.optimizer import dominates
+
+
+def _atlas_covers(fronts):
+    """Every competitor point is dominated by or matched by some Atlas point."""
+    atlas = fronts.get("atlas", [])
+    for name, points in fronts.items():
+        if name == "atlas":
+            continue
+        for point in points:
+            if not any(dominates(a, point) or tuple(a) == tuple(point) for a in atlas):
+                return False
+    return True
+
+
+def test_fig15a_social_network(benchmark):
+    testbed = social_testbed()
+    methods = social_methods()
+    fronts = run_once(benchmark, lambda: figure15_pareto_front(testbed, methods))
+    print()
+    print(
+        format_series(
+            {f"{name} (perf)": [p for p, _c in pts] for name, pts in fronts.items()},
+            title="Figure 15a: social network Pareto fronts (performance axis)",
+        )
+    )
+    print(
+        format_series(
+            {f"{name} (cost)": [c for _p, c in pts] for name, pts in fronts.items()}
+        )
+    )
+    assert fronts["atlas"], "Atlas must recommend at least one feasible plan"
+    # Atlas offers the widest selection of trade-offs.
+    assert len(fronts["atlas"]) >= max(len(pts) for name, pts in fronts.items() if name != "atlas")
+
+
+def test_fig15b_hotel_reservation(benchmark):
+    testbed = hotel_testbed()
+    methods = hotel_methods()
+    fronts = run_once(benchmark, lambda: figure15_pareto_front(testbed, methods))
+    print()
+    print(
+        format_series(
+            {f"{name} (perf)": [p for p, _c in pts] for name, pts in fronts.items()},
+            title="Figure 15b: hotel reservation Pareto fronts (performance axis)",
+        )
+    )
+    assert fronts["atlas"]
+    best_atlas_perf = min(p for p, _c in fronts["atlas"])
+    for name, points in fronts.items():
+        if name == "atlas" or not points:
+            continue
+        assert best_atlas_perf <= min(p for p, _c in points) + 0.25

@@ -1,0 +1,26 @@
+"""Figure 16 — personalized recommendations with owner-specified critical APIs."""
+
+from _shared import SEARCH_BUDGET, run_once, social_testbed
+
+from repro.analysis import figure16_personalization, format_table
+from repro.apps import SOCIAL_NETWORK_CRITICAL_APIS
+
+
+def test_fig16_critical_apis(benchmark):
+    testbed = social_testbed()
+    scenarios = SOCIAL_NETWORK_CRITICAL_APIS
+    rows = run_once(
+        benchmark,
+        lambda: figure16_personalization(testbed, scenarios, search_budget=SEARCH_BUDGET),
+    )
+    print()
+    print(format_table(rows, title="Figure 16: estimated API latency per critical-API scenario"))
+
+    # Critical APIs should not be slower than in the scenario where they are not critical.
+    follow_row = next(row for row in rows if row["api"] == "/follow")
+    assert follow_row["scenario_follow_critical"] is True
+    assert follow_row["scenario_follow_ms"] <= follow_row["scenario_timeline_ms"] * 1.25
+
+    timeline_row = next(row for row in rows if row["api"] == "/homeTimeline")
+    assert timeline_row["scenario_timeline_critical"] is True
+    assert timeline_row["scenario_timeline_ms"] <= timeline_row["scenario_follow_ms"] * 1.25

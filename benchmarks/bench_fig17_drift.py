@@ -1,0 +1,36 @@
+"""Figure 17 — post-migration monitoring: drift detection and re-optimization."""
+
+from _shared import run_once, social_methods, social_testbed
+
+from repro.analysis import figure17_drift_detection, format_mapping
+
+
+def test_fig17_drift_detection(benchmark):
+    testbed = social_testbed()
+    atlas = social_methods()["atlas"]
+    result = run_once(
+        benchmark,
+        lambda: figure17_drift_detection(testbed, atlas.recommendation),
+    )
+    report_before = result["report_before"]
+    report_after = result["report_after"]
+    print()
+    print(
+        format_mapping(
+            {
+                "api": result["api"],
+                "post_migration_mean_ms": result["post_migration_mean_ms"],
+                "before_change_mean_ms": result["before_change_mean_ms"],
+                "after_change_mean_ms": result["after_change_mean_ms"],
+                "reoptimized_mean_ms": result["reoptimized_mean_ms"],
+                "info_loss_before_change": report_before.information_loss_factor,
+                "info_loss_after_change": report_after.information_loss_factor,
+                "drift_detected_after_change": report_after.drift_detected,
+            },
+            title="Figure 17: /composePost drift detection and re-optimization",
+        )
+    )
+    # The behaviour change makes /composePost slower and the statistical discrepancy
+    # grows substantially relative to the pre-change check.
+    assert result["after_change_mean_ms"] > result["before_change_mean_ms"]
+    assert report_after.information_loss_factor > report_before.information_loss_factor

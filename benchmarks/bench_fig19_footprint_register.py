@@ -1,0 +1,19 @@
+"""Figure 19 — the learned network footprint of /register vs real payload sizes."""
+
+from _shared import run_once, social_testbed
+
+from repro.analysis import figure19_footprint_register, format_table
+
+
+def test_fig19_footprint_register(benchmark):
+    testbed = social_testbed()
+    rows = run_once(benchmark, lambda: figure19_footprint_register(testbed))
+    print()
+    print(format_table(rows, title="Figure 19: /register learned vs real footprint (bytes)"))
+    assert rows
+    # The UserService -> UserMongoDB edge (the one highlighted in the paper) must be
+    # recovered within ~20% of its real request size.
+    edge = next(row for row in rows if row["edge"] == "UserService->UserMongoDB")
+    assert abs(edge["estimated_request_bytes"] - edge["real_request_bytes"]) < 0.2 * edge[
+        "real_request_bytes"
+    ]

@@ -1,0 +1,25 @@
+"""Figure 22 — using network footprints to detect a data breach."""
+
+from _shared import run_once, social_testbed
+
+from repro.analysis import figure22_breach_detection, format_series
+
+
+def test_fig22_breach_detection(benchmark):
+    testbed = social_testbed()
+    result = run_once(benchmark, lambda: figure22_breach_detection(testbed))
+    print()
+    print(
+        format_series(
+            {
+                "expected_bytes_per_day": result["daily_expected_bytes"],
+                "observed_bytes_per_day": result["daily_observed_bytes"],
+            },
+            title="Figure 22: expected vs observed PostStorage traffic per day",
+        )
+    )
+    print(f"breach day: {result['breach_day']}, flagged days: {result['flagged_days']}")
+    assert result["anomalies"], "the exfiltration must be flagged"
+    assert result["breach_day"] in result["flagged_days"]
+    # Days without the breach should not be flagged.
+    assert all(day == result["breach_day"] for day in result["flagged_days"])

@@ -1,0 +1,17 @@
+"""Section 5.6 / 6 — scalability figures: training, crossover inference, recommendation time."""
+
+from _shared import run_once, social_testbed
+
+from repro.analysis import format_mapping, scalability_report
+
+
+def test_scalability_report(benchmark):
+    testbed = social_testbed()
+    report = run_once(benchmark, lambda: scalability_report(testbed, crossover_samples=100))
+    print()
+    print(format_mapping(report, title="Scalability (Section 5.6): timing summary"))
+    # Crossover inference must stay in the millisecond range (paper: 0.459 ms) and the
+    # end-to-end recommendation should complete within minutes on a laptop-class machine.
+    assert report["crossover_inference_ms"] < 50.0
+    assert report["recommendation_s"] < 300.0
+    assert report["pareto_plans"] >= 1

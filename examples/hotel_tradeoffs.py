@@ -1,0 +1,68 @@
+"""Hotel reservation system: explore cost/performance trade-offs and critical APIs.
+
+Demonstrates Atlas on the second evaluation application (Figure 10): it prints the
+Pareto front of recommended plans and then shows how marking ``/reservation`` as a
+business-critical API changes the performance-optimized recommendation.
+
+Run with ``python examples/hotel_tradeoffs.py``.
+"""
+
+from repro.analysis import build_testbed, format_table
+
+
+def main() -> None:
+    testbed = build_testbed(
+        application="hotel-reservation",
+        duration_ms=90_000.0,
+        base_rps=12.0,
+        peak_rps=22.0,
+        evaluation_budget=1_500,
+        population_size=40,
+        train_iterations=80,
+        traces_per_api=10,
+    )
+    atlas = testbed.atlas
+
+    recommendation = atlas.recommend(expected_scale=testbed.expected_scale)
+    rows = [
+        {
+            "plan": i,
+            "perf_impact": q.perf,
+            "disrupted_apis": q.avail,
+            "cost_usd": q.cost,
+            "offloaded": len(q.plan.offloaded()),
+        }
+        for i, q in enumerate(recommendation.plans)
+    ]
+    print(format_table(rows, title="Hotel reservation: recommended plans (Pareto front)"))
+    print()
+    print(recommendation.hierarchy().to_text())
+
+    # Mark /reservation as critical and compare the preview of the performance plan.
+    critical = atlas.preferences.with_critical_apis(["/reservation"])
+    personalized = atlas.recommend(expected_scale=testbed.expected_scale, preferences=critical)
+    default_preview = recommendation.latency_preview(
+        recommendation.performance_optimized().plan
+    )
+    critical_preview = personalized.latency_preview(
+        personalized.performance_optimized().plan
+    )
+    rows = [
+        {
+            "api": api,
+            "default_ms": default_preview[api].estimated_mean_ms,
+            "reservation_critical_ms": critical_preview[api].estimated_mean_ms,
+        }
+        for api in sorted(default_preview)
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            title="Latency preview: default vs '/reservation is critical' recommendation",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

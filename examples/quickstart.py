@@ -1,0 +1,102 @@
+"""Quickstart: learn the social network from telemetry and ask Atlas for migration plans.
+
+Run with ``python examples/quickstart.py``.  The script
+
+1. builds the DeathStarBench-style social network and a compressed one-day workload,
+2. simulates it on the on-prem cluster to collect telemetry (traces, metrics, mesh),
+3. lets Atlas learn API profiles, network footprints and a resource model,
+4. asks for migration plans for a 5x traffic burst, and
+5. prints the recommended Pareto-optimal plans, the dendrogram view and the latency
+   preview of the performance-optimized plan.
+"""
+
+from repro import Atlas, MigrationPreferences
+from repro.apps import build_social_network
+from repro.analysis import format_table
+from repro.optimizer import GAConfig
+from repro.recommend import AtlasConfig
+from repro.simulator import simulate_workload
+from repro.workload import WorkloadGenerator, default_scenario
+
+
+def main() -> None:
+    app = build_social_network()
+    print(f"Application: {app.summary()}")
+
+    # 1-2. Generate one compressed day of traffic and collect telemetry on-prem.
+    scenario = default_scenario(app, base_rps=12, peak_rps=22, duration_ms=90_000)
+    requests = WorkloadGenerator(app, scenario, seed=7).generate(scenario.profile.duration_ms)
+    learning = simulate_workload(app, requests, seed=7)
+    print(f"Collected telemetry: {learning.telemetry.summary()}")
+
+    # 3. Application learning.
+    atlas = Atlas(
+        app,
+        config=AtlasConfig(
+            traces_per_api=10,
+            ga=GAConfig(
+                population_size=60,
+                offspring_per_generation=30,
+                evaluation_budget=2_000,
+                train_iterations=120,
+                train_batch_size=2,
+                seed=1,
+            ),
+        ),
+    )
+    atlas.learn(learning.telemetry)
+
+    # The owner pins the user-data stores on-prem and caps the on-prem CPU that the
+    # application may keep using during the burst.
+    burst_scale = 5.0
+    peak_cpu = atlas.knowledge.estimator.predict_scaled(burst_scale).peak(
+        "cpu_millicores", app.component_names
+    )
+    atlas.preferences = MigrationPreferences.pin_on_prem(
+        ["UserMongoDB", "PostStorageMongoDB", "MediaMongoDB"],
+        onprem_limits={"cpu_millicores": 0.8 * peak_cpu},
+    )
+
+    # 4. Recommendation for the burst period.
+    recommendation = atlas.recommend(expected_scale=burst_scale)
+    rows = [
+        {
+            "plan": i,
+            "perf_impact": q.perf,
+            "disrupted_apis": q.avail,
+            "cost_usd": q.cost,
+            "offloaded": len(q.plan.offloaded()),
+        }
+        for i, q in enumerate(recommendation.plans)
+    ]
+    print()
+    print(format_table(rows, title="Recommended Pareto-optimal migration plans"))
+
+    print()
+    print("Plan hierarchy (Figure 8 style):")
+    print(recommendation.hierarchy().to_text())
+
+    # 5. Latency preview of the performance-optimized plan.
+    best = recommendation.performance_optimized()
+    preview = recommendation.latency_preview(best.plan)
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "api": api,
+                    "before_ms": est.baseline_mean_ms,
+                    "after_ms (preview)": est.estimated_mean_ms,
+                    "impact": est.impact_factor,
+                }
+                for api, est in sorted(preview.items())
+            ],
+            title="Latency preview of the performance-optimized plan",
+        )
+    )
+    print()
+    print(f"Components to offload: {sorted(best.plan.offloaded())}")
+
+
+if __name__ == "__main__":
+    main()

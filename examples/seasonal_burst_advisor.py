@@ -1,0 +1,55 @@
+"""Seasonal burst scenario: compare Atlas against a busiest-first cloud-bursting policy.
+
+This mirrors the paper's motivating example (Figure 2/3): a Thanksgiving-style burst
+drives CPU demand past the on-prem capacity, and the owner has to offload a subset of
+components.  We measure (on the simulator) how the application behaves when the subset
+is chosen by Atlas vs by the classic "offload the busiest components" policy.
+
+Run with ``python examples/seasonal_burst_advisor.py``.
+"""
+
+from repro.analysis import build_testbed, format_table, run_methods
+
+
+def main() -> None:
+    testbed = build_testbed(
+        duration_ms=90_000.0,
+        base_rps=12.0,
+        peak_rps=22.0,
+        evaluation_budget=2_000,
+        population_size=60,
+        train_iterations=120,
+        traces_per_api=10,
+    )
+    app = testbed.application
+    print(f"On-prem CPU limit during the burst: {testbed.onprem_cpu_limit:.0f} millicores")
+
+    methods = run_methods(testbed, methods=("atlas", "greedy-largest"), search_budget=2_000)
+    atlas_plan = methods["atlas"].performance_optimized().plan
+    greedy_plan = methods["greedy-largest"].plans[0].plan
+
+    reference = testbed.no_stress_latencies()
+    atlas_measured = testbed.measure_plan(atlas_plan).mean_latencies()
+    greedy_measured = testbed.measure_plan(greedy_plan).mean_latencies()
+
+    rows = []
+    for api in sorted(reference):
+        rows.append(
+            {
+                "api": api,
+                "no_stress_ms": reference[api],
+                "greedy_ms": greedy_measured.get(api, float("nan")),
+                "atlas_ms": atlas_measured.get(api, float("nan")),
+                "greedy_slowdown": greedy_measured.get(api, 0.0) / reference[api],
+                "atlas_slowdown": atlas_measured.get(api, 0.0) / reference[api],
+            }
+        )
+    print()
+    print(format_table(rows, title="Measured API latency under the 5x burst"))
+    print()
+    print(f"Atlas offloads      : {sorted(atlas_plan.offloaded())}")
+    print(f"Greedy-busiest picks: {sorted(greedy_plan.offloaded())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Reproduction of "Atlas: Hybrid Cloud Migration Advisor for Interactive Microservices"
+(EuroSys 2024).
+
+The package is organized by subsystem:
+
+* :mod:`repro.apps` -- application topology models (social network, hotel reservation);
+* :mod:`repro.cluster` -- hybrid-cloud substrate (datacenters, network, placements);
+* :mod:`repro.telemetry` -- observability substrate (traces, metrics, mesh counters);
+* :mod:`repro.workload` -- workload generation (diurnal profiles, social graph);
+* :mod:`repro.simulator` -- ground-truth request execution simulator;
+* :mod:`repro.learning` -- application learning (profiles, footprints, estimation);
+* :mod:`repro.quality` -- migration quality models (performance, availability, cost);
+* :mod:`repro.optimizer` -- plan search (NSGA-II, DRL crossover, Atlas GA, baselines);
+* :mod:`repro.recommend` -- the Atlas advisor facade and plan hierarchy;
+* :mod:`repro.monitoring` -- post-migration drift detection and breach detection;
+* :mod:`repro.analysis` -- experiment pipelines reproducing the paper's figures.
+
+Quick start::
+
+    from repro import Atlas, build_social_network
+    from repro.quality import MigrationPreferences
+    from repro.workload import default_scenario, WorkloadGenerator
+    from repro.simulator import simulate_workload
+
+    app = build_social_network()
+    scenario = default_scenario(app)
+    requests = WorkloadGenerator(app, scenario).generate(scenario.profile.duration_ms)
+    telemetry = simulate_workload(app, requests).telemetry
+
+    atlas = Atlas(app, MigrationPreferences.pin_on_prem(["UserMongoDB"]))
+    atlas.learn(telemetry)
+    recommendation = atlas.recommend(expected_scale=5.0)
+    print(recommendation.performance_optimized().plan.offloaded())
+"""
+
+from .apps import build_hotel_reservation, build_social_network
+from .cluster import MigrationPlan, default_hybrid_cluster, default_network_model
+from .quality import MigrationPreferences
+from .recommend import Atlas, AtlasConfig, Recommendation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Atlas",
+    "AtlasConfig",
+    "Recommendation",
+    "MigrationPlan",
+    "MigrationPreferences",
+    "build_social_network",
+    "build_hotel_reservation",
+    "default_hybrid_cluster",
+    "default_network_model",
+]

@@ -1,0 +1,78 @@
+"""Small reporting helpers shared by examples and benchmarks.
+
+The benchmark harness reproduces the paper's figures as *printed tables and series*
+(there is no plotting dependency offline); these helpers keep that output readable and
+consistent across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_mapping"]
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of row dicts as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    formatted = [
+        {col: _format_value(row.get(col, ""), precision) for col in columns} for row in rows
+    ]
+    widths = {
+        col: max(len(col), *(len(row[col]) for row in formatted)) for col in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in formatted:
+        lines.append(" | ".join(row[col].ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    precision: int = 2,
+    title: Optional[str] = None,
+    max_points: int = 20,
+) -> str:
+    """Render named numeric series (e.g. a Pareto front or a reward curve) compactly."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, values in series.items():
+        values = list(values)
+        if len(values) > max_points:
+            step = len(values) / max_points
+            values = [values[int(i * step)] for i in range(max_points)]
+        rendered = ", ".join(f"{v:.{precision}f}" for v in values)
+        lines.append(f"{name}: [{rendered}]")
+    return "\n".join(lines)
+
+
+def format_mapping(
+    mapping: Mapping[str, object], precision: int = 2, title: Optional[str] = None
+) -> str:
+    """Render a flat mapping as ``key: value`` lines."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for key, value in mapping.items():
+        lines.append(f"{key}: {_format_value(value, precision)}")
+    return "\n".join(lines)

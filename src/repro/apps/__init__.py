@@ -1,0 +1,28 @@
+"""Application topology models (the paper's evaluation applications)."""
+
+from .model import (
+    ApiEndpoint,
+    Application,
+    CallNode,
+    CallSpec,
+    Component,
+    ExecutionMode,
+    PayloadSpec,
+    ResourceProfile,
+)
+from .hotel_reservation import build_hotel_reservation
+from .social_network import SOCIAL_NETWORK_CRITICAL_APIS, build_social_network
+
+__all__ = [
+    "ApiEndpoint",
+    "Application",
+    "CallNode",
+    "CallSpec",
+    "Component",
+    "ExecutionMode",
+    "PayloadSpec",
+    "ResourceProfile",
+    "build_social_network",
+    "build_hotel_reservation",
+    "SOCIAL_NETWORK_CRITICAL_APIS",
+]

@@ -1,0 +1,265 @@
+"""The DeathStarBench-style hotel reservation application (Figure 10 of the paper).
+
+18 components (12 stateless + 6 stateful MongoDB stores) offering 5 user-facing APIs:
+``/home``, ``/hotels``, ``/recommendations``, ``/user`` and ``/reservation``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .model import (
+    ApiEndpoint,
+    Application,
+    CallNode,
+    Component,
+    ExecutionMode,
+    PayloadSpec,
+    ResourceProfile,
+)
+
+__all__ = ["build_hotel_reservation"]
+
+_PAR = ExecutionMode.PARALLEL
+_SEQ = ExecutionMode.SEQUENTIAL
+_BG = ExecutionMode.BACKGROUND
+
+
+def _components() -> List[Component]:
+    """The 18 components of the hotel reservation system."""
+    service = ResourceProfile(
+        cpu_millicores_idle=28.0,
+        cpu_millicores_per_rps=10.0,
+        memory_mb_idle=80.0,
+        memory_mb_per_rps=0.5,
+    )
+    frontend = ResourceProfile(
+        cpu_millicores_idle=36.0,
+        cpu_millicores_per_rps=7.0,
+        memory_mb_idle=110.0,
+        memory_mb_per_rps=0.3,
+    )
+    cache = ResourceProfile(
+        cpu_millicores_idle=24.0,
+        cpu_millicores_per_rps=3.0,
+        memory_mb_idle=220.0,
+        memory_mb_per_rps=1.0,
+    )
+
+    def mongo(storage_gb: float) -> ResourceProfile:
+        return ResourceProfile(
+            cpu_millicores_idle=45.0,
+            cpu_millicores_per_rps=9.0,
+            memory_mb_idle=448.0,
+            memory_mb_per_rps=0.7,
+            storage_gb=storage_gb,
+        )
+
+    stateless = [
+        Component("FrontendService", resources=frontend),
+        Component("SearchService", resources=service),
+        Component("GeoService", resources=service),
+        Component("RateService", resources=service),
+        Component("RecommendService", resources=service),
+        Component("ProfileService", resources=service),
+        Component("ReservationService", resources=service),
+        Component("UserService", resources=service),
+        Component("ProfileMemcached", resources=cache),
+        Component("RateMemcached", resources=cache),
+        Component("ReservationMemcached", resources=cache),
+        Component("GeoRedis", resources=cache),
+    ]
+    stateful = [
+        Component("GeoMongoDB", stateful=True, resources=mongo(4.0)),
+        Component("RateMongoDB", stateful=True, resources=mongo(6.0)),
+        Component("RecommendMongoDB", stateful=True, resources=mongo(3.0)),
+        Component("ProfileMongoDB", stateful=True, resources=mongo(14.0)),
+        Component("ReserveMongoDB", stateful=True, resources=mongo(20.0)),
+        Component("UserMongoDB", stateful=True, resources=mongo(9.0)),
+    ]
+    return stateless + stateful
+
+
+def _geo_subtree() -> CallNode:
+    geo_redis = CallNode(
+        "GeoRedis", "NearbyCached", work_ms=0.5, payload=PayloadSpec(150.0, 640.0)
+    )
+    geo_mongo = CallNode(
+        "GeoMongoDB", "NearbyQuery", work_ms=1.7, payload=PayloadSpec(200.0, 820.0)
+    )
+    geo = CallNode(
+        "GeoService", "Nearby", work_ms=1.1, payload=PayloadSpec(240.0, 900.0)
+    )
+    geo.call(geo_redis, _SEQ, gap_ms=0.2)
+    geo.call(geo_mongo, _SEQ, gap_ms=0.2)
+    return geo
+
+
+def _rate_subtree() -> CallNode:
+    rate_cache = CallNode(
+        "RateMemcached", "GetRates", work_ms=0.5, payload=PayloadSpec(260.0, 980.0)
+    )
+    rate_mongo = CallNode(
+        "RateMongoDB", "FindRates", work_ms=1.9, payload=PayloadSpec(300.0, 1150.0)
+    )
+    rate = CallNode(
+        "RateService", "GetRates", work_ms=1.0, payload=PayloadSpec(340.0, 1300.0)
+    )
+    rate.call(rate_cache, _SEQ, gap_ms=0.2)
+    rate.call(rate_mongo, _SEQ, gap_ms=0.2)
+    return rate
+
+
+def _profile_subtree(response_bytes: float = 2600.0) -> CallNode:
+    profile_cache = CallNode(
+        "ProfileMemcached", "GetProfiles", work_ms=0.6,
+        payload=PayloadSpec(280.0, response_bytes * 0.8),
+    )
+    profile_mongo = CallNode(
+        "ProfileMongoDB", "FindProfiles", work_ms=2.1,
+        payload=PayloadSpec(320.0, response_bytes),
+    )
+    profile = CallNode(
+        "ProfileService", "GetProfiles", work_ms=1.2,
+        payload=PayloadSpec(360.0, response_bytes * 1.1),
+    )
+    profile.call(profile_cache, _SEQ, gap_ms=0.2)
+    profile.call(profile_mongo, _SEQ, gap_ms=0.2)
+    return profile
+
+
+def _reservation_check_subtree() -> CallNode:
+    reserve_cache = CallNode(
+        "ReservationMemcached", "CheckAvailabilityCached", work_ms=0.5,
+        payload=PayloadSpec(240.0, 420.0),
+    )
+    reserve_mongo = CallNode(
+        "ReserveMongoDB", "CheckAvailability", work_ms=1.8,
+        payload=PayloadSpec(280.0, 520.0),
+    )
+    reserve = CallNode(
+        "ReservationService", "CheckAvailability", work_ms=1.0,
+        payload=PayloadSpec(320.0, 560.0),
+    )
+    reserve.call(reserve_cache, _SEQ, gap_ms=0.2)
+    reserve.call(reserve_mongo, _SEQ, gap_ms=0.2)
+    return reserve
+
+
+def _hotels_api() -> ApiEndpoint:
+    search = CallNode(
+        "SearchService", "SearchNearby", work_ms=1.4, payload=PayloadSpec(420.0, 1900.0)
+    )
+    search.call(_geo_subtree(), _PAR, gap_ms=0.2)
+    search.call(_rate_subtree(), _PAR, gap_ms=0.2)
+    root = CallNode(
+        "FrontendService", "/hotels", work_ms=1.2, payload=PayloadSpec(520.0, 4200.0)
+    )
+    root.call(search, _SEQ, gap_ms=0.2)
+    root.call(_reservation_check_subtree(), _SEQ, gap_ms=0.2)
+    root.call(_profile_subtree(), _SEQ, gap_ms=0.2)
+    return ApiEndpoint("/hotels", root, weight=0.35, description="Search hotels nearby")
+
+
+def _home_api() -> ApiEndpoint:
+    recommend_mongo = CallNode(
+        "RecommendMongoDB", "FindTopRated", work_ms=1.6,
+        payload=PayloadSpec(220.0, 640.0),
+    )
+    recommend = CallNode(
+        "RecommendService", "TopRatedNearby", work_ms=1.0,
+        payload=PayloadSpec(260.0, 720.0),
+    )
+    recommend.call(recommend_mongo, _SEQ, gap_ms=0.2)
+    root = CallNode(
+        "FrontendService", "/home", work_ms=1.0, payload=PayloadSpec(360.0, 3100.0)
+    )
+    root.call(_geo_subtree(), _PAR, gap_ms=0.2)
+    root.call(recommend, _PAR, gap_ms=0.2)
+    root.call(_profile_subtree(2200.0), _SEQ, gap_ms=0.2)
+    return ApiEndpoint("/home", root, weight=0.25, description="Landing page content")
+
+
+def _recommendations_api() -> ApiEndpoint:
+    recommend_mongo = CallNode(
+        "RecommendMongoDB", "FindRecommendations", work_ms=1.8,
+        payload=PayloadSpec(240.0, 760.0),
+    )
+    recommend = CallNode(
+        "RecommendService", "GetRecommendations", work_ms=1.1,
+        payload=PayloadSpec(280.0, 840.0),
+    )
+    recommend.call(recommend_mongo, _SEQ, gap_ms=0.2)
+    root = CallNode(
+        "FrontendService", "/recommendations", work_ms=1.0,
+        payload=PayloadSpec(340.0, 2900.0),
+    )
+    root.call(recommend, _SEQ, gap_ms=0.2)
+    root.call(_profile_subtree(2400.0), _SEQ, gap_ms=0.2)
+    return ApiEndpoint(
+        "/recommendations", root, weight=0.15, description="Personalized suggestions"
+    )
+
+
+def _user_api() -> ApiEndpoint:
+    user_mongo = CallNode(
+        "UserMongoDB", "CheckCredentials", work_ms=1.5,
+        payload=PayloadSpec(230.0, 180.0),
+    )
+    user = CallNode(
+        "UserService", "CheckUser", work_ms=0.9, payload=PayloadSpec(280.0, 140.0)
+    )
+    user.call(user_mongo, _SEQ, gap_ms=0.2)
+    root = CallNode(
+        "FrontendService", "/user", work_ms=0.9, payload=PayloadSpec(380.0, 220.0)
+    )
+    root.call(user, _SEQ, gap_ms=0.2)
+    return ApiEndpoint("/user", root, weight=0.10, description="Authenticate a guest")
+
+
+def _reservation_api() -> ApiEndpoint:
+    user_mongo = CallNode(
+        "UserMongoDB", "CheckCredentials", work_ms=1.5,
+        payload=PayloadSpec(230.0, 180.0),
+    )
+    user = CallNode(
+        "UserService", "CheckUser", work_ms=0.9, payload=PayloadSpec(280.0, 140.0)
+    )
+    user.call(user_mongo, _SEQ, gap_ms=0.2)
+
+    reserve_mongo = CallNode(
+        "ReserveMongoDB", "MakeReservation", work_ms=2.3,
+        payload=PayloadSpec(460.0, 120.0),
+    )
+    reserve_cache = CallNode(
+        "ReservationMemcached", "InvalidateAvailability", work_ms=0.4,
+        payload=PayloadSpec(260.0, 24.0),
+    )
+    reserve = CallNode(
+        "ReservationService", "MakeReservation", work_ms=1.3,
+        payload=PayloadSpec(520.0, 180.0),
+    )
+    reserve.call(reserve_mongo, _SEQ, gap_ms=0.3)
+    reserve.call(reserve_cache, _BG, gap_ms=0.1)
+
+    root = CallNode(
+        "FrontendService", "/reservation", work_ms=1.1,
+        payload=PayloadSpec(640.0, 260.0),
+    )
+    root.call(user, _SEQ, gap_ms=0.2)
+    root.call(reserve, _SEQ, gap_ms=0.2)
+    return ApiEndpoint(
+        "/reservation", root, weight=0.15, description="Book a hotel room"
+    )
+
+
+def build_hotel_reservation() -> Application:
+    """Build the 18-component, 5-API hotel reservation application."""
+    apis = [
+        _home_api(),
+        _hotels_api(),
+        _recommendations_api(),
+        _user_api(),
+        _reservation_api(),
+    ]
+    return Application("hotel-reservation", _components(), apis)

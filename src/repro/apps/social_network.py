@@ -1,0 +1,500 @@
+"""The DeathStarBench-style social network application (Figure 1 of the paper).
+
+29 components (23 stateless + 6 stateful MongoDB stores) offering 9 user-facing APIs:
+``/register``, ``/login``, ``/follow``, ``/unfollow``, ``/composePost``,
+``/homeTimeline``, ``/userTimeline``, ``/uploadMedia`` and ``/getMedia``.
+
+The call trees are modelled after the DeathStarBench social network: the compose-post
+flow fans out in parallel to text/media/unique-id/user services, stores the post
+sequentially, and notifies followers' home timelines in the background — exactly the
+parallel / sequential / background patterns the paper's delay injection exploits
+(Figure 6).  Payload sizes along the /register path follow the magnitudes reported in
+Figure 19.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .model import (
+    ApiEndpoint,
+    Application,
+    CallNode,
+    Component,
+    ExecutionMode,
+    PayloadSpec,
+    ResourceProfile,
+)
+
+__all__ = ["build_social_network", "SOCIAL_NETWORK_CRITICAL_APIS"]
+
+#: API sets used by the personalization experiment (Figure 16).
+SOCIAL_NETWORK_CRITICAL_APIS: Dict[str, List[str]] = {
+    "scenario_follow": ["/follow", "/unfollow"],
+    "scenario_timeline": ["/homeTimeline", "/composePost"],
+}
+
+_PAR = ExecutionMode.PARALLEL
+_SEQ = ExecutionMode.SEQUENTIAL
+_BG = ExecutionMode.BACKGROUND
+
+
+def _components() -> List[Component]:
+    """The 29 components of the social network."""
+    service = ResourceProfile(
+        cpu_millicores_idle=30.0,
+        cpu_millicores_per_rps=12.0,
+        memory_mb_idle=96.0,
+        memory_mb_per_rps=0.6,
+    )
+    nginx = ResourceProfile(
+        cpu_millicores_idle=40.0,
+        cpu_millicores_per_rps=6.0,
+        memory_mb_idle=128.0,
+        memory_mb_per_rps=0.3,
+    )
+    cache = ResourceProfile(
+        cpu_millicores_idle=25.0,
+        cpu_millicores_per_rps=3.0,
+        memory_mb_idle=256.0,
+        memory_mb_per_rps=1.2,
+    )
+    broker = ResourceProfile(
+        cpu_millicores_idle=35.0,
+        cpu_millicores_per_rps=4.0,
+        memory_mb_idle=192.0,
+        memory_mb_per_rps=0.4,
+    )
+
+    def mongo(storage_gb: float) -> ResourceProfile:
+        return ResourceProfile(
+            cpu_millicores_idle=50.0,
+            cpu_millicores_per_rps=10.0,
+            memory_mb_idle=512.0,
+            memory_mb_per_rps=0.8,
+            storage_gb=storage_gb,
+        )
+
+    stateless = [
+        Component("FrontendNGINX", resources=nginx, description="API gateway for text APIs"),
+        Component("MediaNGINX", resources=nginx, description="API gateway for media APIs"),
+        Component("ComposePostService", resources=service),
+        Component("UserService", resources=service),
+        Component("SocialGraphService", resources=service),
+        Component("PostStorageService", resources=service),
+        Component("UserTimelineService", resources=service),
+        Component("HomeTimelineService", resources=service),
+        Component("WriteHomeTimelineService", resources=service),
+        Component("TextService", resources=service),
+        Component("URLShortenService", resources=service),
+        Component("UserMentionService", resources=service),
+        Component("MediaService", resources=service),
+        Component("MediaFilterService", resources=service),
+        Component("UniqueIDService", resources=service),
+        Component("UserMemcached", resources=cache),
+        Component("PostStorageMemcached", resources=cache),
+        Component("MediaMemcached", resources=cache),
+        Component("URLShortenMemcached", resources=cache),
+        Component("SocialGraphRedis", resources=cache),
+        Component("UserTimelineRedis", resources=cache),
+        Component("HomeTimelineRedis", resources=cache),
+        Component("RabbitMQBroker", resources=broker),
+    ]
+    stateful = [
+        Component("UserMongoDB", stateful=True, resources=mongo(18.0)),
+        Component("SocialGraphMongoDB", stateful=True, resources=mongo(22.0)),
+        Component("PostStorageMongoDB", stateful=True, resources=mongo(64.0)),
+        Component("UserTimelineMongoDB", stateful=True, resources=mongo(28.0)),
+        Component("URLShortenMongoDB", stateful=True, resources=mongo(6.0)),
+        Component("MediaMongoDB", stateful=True, resources=mongo(120.0)),
+    ]
+    return stateless + stateful
+
+
+# ---------------------------------------------------------------------------
+# API call trees
+# ---------------------------------------------------------------------------
+
+def _register_api() -> ApiEndpoint:
+    """/register — payload sizes follow Figure 19 of the paper."""
+    social_graph_mongo = CallNode(
+        "SocialGraphMongoDB", "InsertUserNode", work_ms=1.4,
+        payload=PayloadSpec(205.0, 46.0),
+    )
+    social_graph_redis = CallNode(
+        "SocialGraphRedis", "InitFollowerSet", work_ms=0.4,
+        payload=PayloadSpec(160.0, 24.0),
+    )
+    social_graph = CallNode(
+        "SocialGraphService", "InsertUser", work_ms=0.9,
+        payload=PayloadSpec(131.0, 27.0),
+    )
+    social_graph.call(social_graph_mongo, _SEQ, gap_ms=0.2)
+    social_graph.call(social_graph_redis, _BG, gap_ms=0.1)
+
+    user_mongo = CallNode(
+        "UserMongoDB", "InsertUser", work_ms=1.8,
+        payload=PayloadSpec(561.0, 144.0),
+    )
+    user_memcached = CallNode(
+        "UserMemcached", "CacheUser", work_ms=0.3,
+        payload=PayloadSpec(420.0, 20.0),
+    )
+    user_service = CallNode(
+        "UserService", "RegisterUserWithId", work_ms=1.5,
+        payload=PayloadSpec(234.0, 35.0),
+    )
+    user_service.call(user_mongo, _SEQ, gap_ms=0.3)
+    user_service.call(social_graph, _SEQ, gap_ms=0.2)
+    user_service.call(user_memcached, _BG, gap_ms=0.1)
+
+    unique_id = CallNode(
+        "UniqueIDService", "ComposeUniqueId", work_ms=0.4,
+        payload=PayloadSpec(90.0, 40.0),
+    )
+    root = CallNode(
+        "FrontendNGINX", "/register", work_ms=1.2,
+        payload=PayloadSpec(2150.0, 125.0),
+    )
+    root.call(unique_id, _SEQ, gap_ms=0.2)
+    root.call(user_service, _SEQ, gap_ms=0.3)
+    return ApiEndpoint("/register", root, weight=0.02, description="Create a new account")
+
+
+def _login_api() -> ApiEndpoint:
+    user_memcached = CallNode(
+        "UserMemcached", "GetCredentials", work_ms=0.3,
+        payload=PayloadSpec(140.0, 380.0),
+    )
+    user_mongo = CallNode(
+        "UserMongoDB", "FindUser", work_ms=1.6,
+        payload=PayloadSpec(210.0, 520.0),
+    )
+    user_service = CallNode(
+        "UserService", "Login", work_ms=1.1,
+        payload=PayloadSpec(260.0, 310.0),
+    )
+    user_service.call(user_memcached, _SEQ, gap_ms=0.2)
+    user_service.call(user_mongo, _SEQ, gap_ms=0.2)
+    root = CallNode(
+        "FrontendNGINX", "/login", work_ms=1.0,
+        payload=PayloadSpec(640.0, 420.0),
+    )
+    root.call(user_service, _SEQ, gap_ms=0.2)
+    return ApiEndpoint("/login", root, weight=0.10, description="Authenticate a user")
+
+
+def _follow_api(name: str, weight: float) -> ApiEndpoint:
+    """Shared structure of /follow and /unfollow."""
+    op = "Follow" if name == "/follow" else "Unfollow"
+    graph_mongo = CallNode(
+        "SocialGraphMongoDB", f"{op}Edge", work_ms=1.5,
+        payload=PayloadSpec(240.0, 60.0),
+    )
+    graph_redis = CallNode(
+        "SocialGraphRedis", f"{op}CachedEdge", work_ms=0.4,
+        payload=PayloadSpec(180.0, 28.0),
+    )
+    user_memcached = CallNode(
+        "UserMemcached", "ResolveUserIds", work_ms=0.3,
+        payload=PayloadSpec(130.0, 150.0),
+    )
+    graph_service = CallNode(
+        "SocialGraphService", op, work_ms=1.0,
+        payload=PayloadSpec(220.0, 40.0),
+    )
+    graph_service.call(user_memcached, _SEQ, gap_ms=0.2)
+    graph_service.call(graph_mongo, _PAR, gap_ms=0.2)
+    graph_service.call(graph_redis, _PAR, gap_ms=0.2)
+    root = CallNode(
+        "FrontendNGINX", name, work_ms=0.9,
+        payload=PayloadSpec(420.0, 96.0),
+    )
+    root.call(graph_service, _SEQ, gap_ms=0.2)
+    return ApiEndpoint(name, root, weight=weight, description=f"{op} another user")
+
+
+def _compose_post_api() -> ApiEndpoint:
+    """/composePost — the richest workflow (Figure 6)."""
+    url_mongo = CallNode(
+        "URLShortenMongoDB", "InsertUrls", work_ms=1.2,
+        payload=PayloadSpec(380.0, 70.0),
+    )
+    url_memcached = CallNode(
+        "URLShortenMemcached", "CacheUrls", work_ms=0.3,
+        payload=PayloadSpec(300.0, 24.0),
+    )
+    url_shorten = CallNode(
+        "URLShortenService", "ShortenUrls", work_ms=1.6,
+        payload=PayloadSpec(540.0, 180.0),
+    )
+    url_shorten.call(url_mongo, _SEQ, gap_ms=0.2)
+    url_shorten.call(url_memcached, _BG, gap_ms=0.1)
+
+    user_mention_cache = CallNode(
+        "UserMemcached", "LookupMentions", work_ms=0.4,
+        payload=PayloadSpec(220.0, 260.0),
+    )
+    user_mention_mongo = CallNode(
+        "UserMongoDB", "LookupMentionedUsers", work_ms=1.3,
+        payload=PayloadSpec(260.0, 340.0),
+    )
+    user_mention = CallNode(
+        "UserMentionService", "ComposeUserMentions", work_ms=0.9,
+        payload=PayloadSpec(300.0, 240.0),
+    )
+    user_mention.call(user_mention_cache, _SEQ, gap_ms=0.2)
+    user_mention.call(user_mention_mongo, _SEQ, gap_ms=0.2)
+
+    text_service = CallNode(
+        "TextService", "ComposeText", work_ms=1.4,
+        payload=PayloadSpec(1350.0, 760.0),
+    )
+    text_service.call(url_shorten, _PAR, gap_ms=0.2)
+    text_service.call(user_mention, _PAR, gap_ms=0.2)
+
+    media_mongo = CallNode(
+        "MediaMongoDB", "InsertMediaRef", work_ms=1.1,
+        payload=PayloadSpec(420.0, 64.0),
+    )
+    media_service = CallNode(
+        "MediaService", "ComposeMedia", work_ms=1.0,
+        payload=PayloadSpec(520.0, 180.0),
+    )
+    media_service.call(media_mongo, _SEQ, gap_ms=0.2)
+
+    unique_id = CallNode(
+        "UniqueIDService", "ComposePostId", work_ms=0.4,
+        payload=PayloadSpec(90.0, 40.0),
+    )
+    user_service = CallNode(
+        "UserService", "ComposeCreatorWithUserId", work_ms=0.8,
+        payload=PayloadSpec(260.0, 140.0),
+    )
+
+    post_storage_mongo = CallNode(
+        "PostStorageMongoDB", "InsertPost", work_ms=2.2,
+        payload=PayloadSpec(1650.0, 80.0),
+    )
+    post_storage_cache = CallNode(
+        "PostStorageMemcached", "CachePost", work_ms=0.4,
+        payload=PayloadSpec(1500.0, 24.0),
+    )
+    post_storage = CallNode(
+        "PostStorageService", "StorePost", work_ms=1.2,
+        payload=PayloadSpec(1700.0, 96.0),
+    )
+    post_storage.call(post_storage_mongo, _SEQ, gap_ms=0.2)
+    post_storage.call(post_storage_cache, _BG, gap_ms=0.1)
+
+    user_timeline_redis = CallNode(
+        "UserTimelineRedis", "AppendPostId", work_ms=0.4,
+        payload=PayloadSpec(180.0, 24.0),
+    )
+    user_timeline_mongo = CallNode(
+        "UserTimelineMongoDB", "AppendPostId", work_ms=1.4,
+        payload=PayloadSpec(220.0, 48.0),
+    )
+    user_timeline = CallNode(
+        "UserTimelineService", "WriteUserTimeline", work_ms=0.9,
+        payload=PayloadSpec(260.0, 56.0),
+    )
+    user_timeline.call(user_timeline_redis, _PAR, gap_ms=0.2)
+    user_timeline.call(user_timeline_mongo, _PAR, gap_ms=0.2)
+
+    # The write-home-timeline fan-out is the heaviest part of composing a post: it pulls
+    # the author's follower list and pushes the new post id into every follower's home
+    # timeline.  It is CPU- and traffic-intensive but runs entirely in the background,
+    # which is exactly the kind of component an API-centric advisor can offload for free
+    # while affinity-based policies shy away from the cross-datacenter traffic.
+    graph_redis = CallNode(
+        "SocialGraphRedis", "GetFollowers", work_ms=1.2,
+        payload=PayloadSpec(160.0, 3_800.0),
+    )
+    graph_service = CallNode(
+        "SocialGraphService", "GetFollowers", work_ms=1.0,
+        payload=PayloadSpec(200.0, 4_200.0),
+    )
+    graph_service.call(graph_redis, _SEQ, gap_ms=0.2)
+
+    home_timeline_redis = CallNode(
+        "HomeTimelineRedis", "FanOutPostId", work_ms=2.5,
+        payload=PayloadSpec(5_600.0, 48.0),
+    )
+    rabbitmq = CallNode(
+        "RabbitMQBroker", "EnqueueFanOut", work_ms=0.6,
+        payload=PayloadSpec(1_400.0, 24.0),
+    )
+    write_home_timeline = CallNode(
+        "WriteHomeTimelineService", "FanOutHomeTimelines", work_ms=6.0,
+        payload=PayloadSpec(1_200.0, 32.0),
+    )
+    write_home_timeline.call(graph_service, _SEQ, gap_ms=0.2)
+    write_home_timeline.call(home_timeline_redis, _SEQ, gap_ms=0.2)
+
+    compose = CallNode(
+        "ComposePostService", "ComposePost", work_ms=1.6,
+        payload=PayloadSpec(2100.0, 220.0),
+    )
+    compose.call(unique_id, _PAR, gap_ms=0.2)
+    compose.call(text_service, _PAR, gap_ms=0.2)
+    compose.call(media_service, _PAR, gap_ms=0.2)
+    compose.call(user_service, _PAR, gap_ms=0.2)
+    compose.call(post_storage, _SEQ, gap_ms=0.3)
+    compose.call(user_timeline, _SEQ, gap_ms=0.2)
+    compose.call(rabbitmq, _BG, gap_ms=0.1)
+    compose.call(write_home_timeline, _BG, gap_ms=0.2)
+
+    root = CallNode(
+        "FrontendNGINX", "/composePost", work_ms=1.4,
+        payload=PayloadSpec(2600.0, 180.0),
+    )
+    root.call(root_child := compose, _SEQ, gap_ms=0.3)
+    del root_child
+    return ApiEndpoint(
+        "/composePost", root, weight=0.10, description="Publish a new post"
+    )
+
+
+def _home_timeline_api() -> ApiEndpoint:
+    home_redis = CallNode(
+        "HomeTimelineRedis", "ReadPostIds", work_ms=0.7,
+        payload=PayloadSpec(140.0, 820.0),
+    )
+    post_cache = CallNode(
+        "PostStorageMemcached", "MGetPosts", work_ms=0.8,
+        payload=PayloadSpec(360.0, 5200.0),
+    )
+    post_mongo = CallNode(
+        "PostStorageMongoDB", "FindPosts", work_ms=2.4,
+        payload=PayloadSpec(420.0, 6400.0),
+    )
+    post_storage = CallNode(
+        "PostStorageService", "ReadPosts", work_ms=1.3,
+        payload=PayloadSpec(480.0, 7200.0),
+    )
+    post_storage.call(post_cache, _SEQ, gap_ms=0.2)
+    post_storage.call(post_mongo, _SEQ, gap_ms=0.2)
+    home_timeline = CallNode(
+        "HomeTimelineService", "ReadHomeTimeline", work_ms=1.2,
+        payload=PayloadSpec(220.0, 7600.0),
+    )
+    home_timeline.call(home_redis, _SEQ, gap_ms=0.2)
+    home_timeline.call(post_storage, _SEQ, gap_ms=0.3)
+    root = CallNode(
+        "FrontendNGINX", "/homeTimeline", work_ms=1.1,
+        payload=PayloadSpec(300.0, 8200.0),
+    )
+    root.call(home_timeline, _SEQ, gap_ms=0.2)
+    return ApiEndpoint(
+        "/homeTimeline", root, weight=0.30, description="Read the follower feed"
+    )
+
+
+def _user_timeline_api() -> ApiEndpoint:
+    timeline_redis = CallNode(
+        "UserTimelineRedis", "ReadPostIds", work_ms=0.5,
+        payload=PayloadSpec(140.0, 620.0),
+    )
+    timeline_mongo = CallNode(
+        "UserTimelineMongoDB", "FindPostIds", work_ms=1.8,
+        payload=PayloadSpec(200.0, 760.0),
+    )
+    post_cache = CallNode(
+        "PostStorageMemcached", "MGetPosts", work_ms=0.8,
+        payload=PayloadSpec(340.0, 4300.0),
+    )
+    post_mongo = CallNode(
+        "PostStorageMongoDB", "FindPosts", work_ms=2.2,
+        payload=PayloadSpec(380.0, 5100.0),
+    )
+    post_storage = CallNode(
+        "PostStorageService", "ReadPosts", work_ms=1.2,
+        payload=PayloadSpec(420.0, 5600.0),
+    )
+    post_storage.call(post_cache, _SEQ, gap_ms=0.2)
+    post_storage.call(post_mongo, _SEQ, gap_ms=0.2)
+    user_timeline = CallNode(
+        "UserTimelineService", "ReadUserTimeline", work_ms=1.1,
+        payload=PayloadSpec(220.0, 6000.0),
+    )
+    user_timeline.call(timeline_redis, _PAR, gap_ms=0.2)
+    user_timeline.call(timeline_mongo, _PAR, gap_ms=0.2)
+    user_timeline.call(post_storage, _SEQ, gap_ms=0.3)
+    root = CallNode(
+        "FrontendNGINX", "/userTimeline", work_ms=1.0,
+        payload=PayloadSpec(280.0, 6600.0),
+    )
+    root.call(user_timeline, _SEQ, gap_ms=0.2)
+    return ApiEndpoint(
+        "/userTimeline", root, weight=0.15, description="Read one author's posts"
+    )
+
+
+def _upload_media_api() -> ApiEndpoint:
+    media_mongo = CallNode(
+        "MediaMongoDB", "InsertMedia", work_ms=3.0,
+        payload=PayloadSpec(96_000.0, 120.0),
+    )
+    media_cache = CallNode(
+        "MediaMemcached", "CacheMedia", work_ms=0.8,
+        payload=PayloadSpec(92_000.0, 24.0),
+    )
+    media_service = CallNode(
+        "MediaService", "UploadMedia", work_ms=2.0,
+        payload=PayloadSpec(98_000.0, 180.0),
+    )
+    media_service.call(media_mongo, _SEQ, gap_ms=0.3)
+    media_service.call(media_cache, _BG, gap_ms=0.1)
+    media_filter = CallNode(
+        "MediaFilterService", "FilterMedia", work_ms=3.5,
+        payload=PayloadSpec(99_000.0, 160.0),
+    )
+    media_filter.call(media_service, _SEQ, gap_ms=0.3)
+    root = CallNode(
+        "MediaNGINX", "/uploadMedia", work_ms=2.2,
+        payload=PayloadSpec(102_000.0, 240.0),
+    )
+    root.call(media_filter, _SEQ, gap_ms=0.3)
+    return ApiEndpoint(
+        "/uploadMedia", root, weight=0.05, description="Upload a photo attachment"
+    )
+
+
+def _get_media_api() -> ApiEndpoint:
+    media_cache = CallNode(
+        "MediaMemcached", "GetMedia", work_ms=0.7,
+        payload=PayloadSpec(140.0, 68_000.0),
+    )
+    media_mongo = CallNode(
+        "MediaMongoDB", "FindMedia", work_ms=2.6,
+        payload=PayloadSpec(180.0, 74_000.0),
+    )
+    media_service = CallNode(
+        "MediaService", "GetMedia", work_ms=1.4,
+        payload=PayloadSpec(220.0, 76_000.0),
+    )
+    media_service.call(media_cache, _SEQ, gap_ms=0.2)
+    media_service.call(media_mongo, _SEQ, gap_ms=0.2)
+    root = CallNode(
+        "MediaNGINX", "/getMedia", work_ms=1.2,
+        payload=PayloadSpec(260.0, 78_000.0),
+    )
+    root.call(media_service, _SEQ, gap_ms=0.2)
+    return ApiEndpoint("/getMedia", root, weight=0.20, description="Download a photo")
+
+
+def build_social_network() -> Application:
+    """Build the 29-component, 9-API social network application."""
+    apis = [
+        _register_api(),
+        _login_api(),
+        _follow_api("/follow", weight=0.05),
+        _follow_api("/unfollow", weight=0.03),
+        _compose_post_api(),
+        _home_timeline_api(),
+        _user_timeline_api(),
+        _upload_media_api(),
+        _get_media_api(),
+    ]
+    return Application("social-network", _components(), apis)

@@ -1,0 +1,29 @@
+"""Hybrid cloud substrate: datacenters, network model, placements and autoscalers."""
+
+from .autoscaler import AutoscalerConfig, ClusterAutoscaler, StorageAutoscaler
+from .network import LinkSpec, NetworkModel, default_network_model
+from .placement import MigrationPlan
+from .topology import (
+    CLOUD,
+    ON_PREM,
+    Datacenter,
+    HybridCluster,
+    NodeSpec,
+    default_hybrid_cluster,
+)
+
+__all__ = [
+    "ON_PREM",
+    "CLOUD",
+    "NodeSpec",
+    "Datacenter",
+    "HybridCluster",
+    "default_hybrid_cluster",
+    "LinkSpec",
+    "NetworkModel",
+    "default_network_model",
+    "MigrationPlan",
+    "AutoscalerConfig",
+    "ClusterAutoscaler",
+    "StorageAutoscaler",
+]

@@ -1,0 +1,100 @@
+"""Cluster and storage autoscaler simulation (Appendix A, Eq. 6 and Eq. 8).
+
+The public cloud charges only for allocated nodes and provisioned storage.  These two
+small simulators convert a time series of expected resource demand into a time series of
+allocated capacity, which the cost model (:mod:`repro.quality.cost`) then prices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
+
+from .topology import NodeSpec
+
+__all__ = ["ClusterAutoscaler", "StorageAutoscaler", "AutoscalerConfig"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Headroom fractions (δ in Eq. 6/8) that trigger scale-up."""
+
+    cpu_headroom: float = 0.20
+    memory_headroom: float = 0.20
+    storage_headroom: float = 0.20
+
+    def __post_init__(self) -> None:
+        for name in ("cpu_headroom", "memory_headroom", "storage_headroom"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+
+
+class ClusterAutoscaler:
+    """Computes the number of cloud nodes required over time (Eq. 6).
+
+    ``n_t = max_r ceil((1 + δ_r) * demand_r[t] / Ω_r)`` for r ∈ {CPU, memory}.
+    """
+
+    def __init__(self, node_spec: NodeSpec, config: AutoscalerConfig | None = None) -> None:
+        self.node_spec = node_spec
+        self.config = config or AutoscalerConfig()
+
+    def nodes_for(self, cpu_millicores: float, memory_mb: float) -> int:
+        """Nodes needed to host the given instantaneous demand."""
+        if cpu_millicores < 0 or memory_mb < 0:
+            raise ValueError("resource demand must be non-negative")
+        if cpu_millicores == 0 and memory_mb == 0:
+            return 0
+        by_cpu = math.ceil(
+            (1.0 + self.config.cpu_headroom) * cpu_millicores / self.node_spec.cpu_millicores
+        )
+        by_mem = math.ceil(
+            (1.0 + self.config.memory_headroom) * memory_mb / self.node_spec.memory_mb
+        )
+        return max(by_cpu, by_mem)
+
+    def node_series(
+        self,
+        cpu_series: Sequence[float],
+        memory_series: Sequence[float],
+    ) -> List[int]:
+        """Node counts for aligned CPU/memory demand time series."""
+        if len(cpu_series) != len(memory_series):
+            raise ValueError("cpu and memory series must have the same length")
+        return [self.nodes_for(c, m) for c, m in zip(cpu_series, memory_series)]
+
+
+class StorageAutoscaler:
+    """Computes the provisioned cloud storage capacity over time (Eq. 8).
+
+    The initial capacity is twice the data size transferred during migration, and the
+    capacity grows by the headroom factor whenever free space falls below the headroom
+    fraction.  Capacity never shrinks (cloud volumes cannot be shrunk online).
+    """
+
+    def __init__(self, config: AutoscalerConfig | None = None) -> None:
+        self.config = config or AutoscalerConfig()
+
+    def initial_capacity_gb(self, migrated_data_gb: float) -> float:
+        if migrated_data_gb < 0:
+            raise ValueError("migrated data size must be non-negative")
+        return 2.0 * migrated_data_gb
+
+    def capacity_series(
+        self, usage_series_gb: Sequence[float], migrated_data_gb: float
+    ) -> List[float]:
+        """Provisioned capacity at each time step for the given usage series."""
+        delta = self.config.storage_headroom
+        capacity = self.initial_capacity_gb(migrated_data_gb)
+        series: List[float] = []
+        for usage in usage_series_gb:
+            if usage < 0:
+                raise ValueError("storage usage must be non-negative")
+            if capacity > 0 and (1.0 - usage / capacity) <= delta:
+                capacity = float(math.ceil((1.0 + delta) * capacity))
+            elif capacity == 0 and usage > 0:
+                capacity = float(math.ceil((1.0 + delta) * usage))
+            series.append(capacity)
+        return series

@@ -1,0 +1,130 @@
+"""Network performance model between datacenters.
+
+The paper reports the measured characteristics of its testbed:
+
+* intra-datacenter (collocated nodes): 0.168 ms average latency, 941 Mbps bandwidth;
+* inter-datacenter (Wisconsin <-> Massachusetts): 23.015 ms latency, 921 Mbps bandwidth.
+
+:class:`NetworkModel` stores a latency/bandwidth matrix over locations and converts a
+payload size into a one-way transfer time.  It is used both by the execution simulator
+(ground truth) and by Atlas's delay-injection estimator (Eq. 2), which only needs the
+*difference* between the before/after link characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .topology import CLOUD, ON_PREM
+
+__all__ = ["LinkSpec", "NetworkModel", "default_network_model"]
+
+_BITS_PER_BYTE = 8.0
+_MBPS_TO_BYTES_PER_MS = 1e6 / _BITS_PER_BYTE / 1e3  # 1 Mbps = 125 bytes/ms
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Latency/bandwidth of the path between two locations.
+
+    ``latency_ms`` is the *round-trip* time, matching how the paper reports its testbed
+    measurements (0.168 ms intra-DC, 23.015 ms inter-DC); a one-way transfer therefore
+    pays half of it plus the serialization time of the payload.
+    """
+
+    latency_ms: float
+    bandwidth_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    @property
+    def bytes_per_ms(self) -> float:
+        return self.bandwidth_mbps * _MBPS_TO_BYTES_PER_MS
+
+    def transfer_time_ms(self, payload_bytes: float) -> float:
+        """One-way time to push ``payload_bytes`` over this link (half RTT + serialization)."""
+        if payload_bytes < 0:
+            raise ValueError("payload size must be non-negative")
+        return 0.5 * self.latency_ms + payload_bytes / self.bytes_per_ms
+
+
+class NetworkModel:
+    """Symmetric latency/bandwidth matrix over datacenter locations."""
+
+    def __init__(self, links: Dict[Tuple[int, int], LinkSpec]) -> None:
+        self._links: Dict[Tuple[int, int], LinkSpec] = {}
+        for (a, b), spec in links.items():
+            self._links[self._key(a, b)] = spec
+
+    @staticmethod
+    def _key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def link(self, loc_a: int, loc_b: int) -> LinkSpec:
+        try:
+            return self._links[self._key(loc_a, loc_b)]
+        except KeyError:
+            raise KeyError(f"no link between locations {loc_a} and {loc_b}") from None
+
+    def latency_ms(self, loc_a: int, loc_b: int) -> float:
+        return self.link(loc_a, loc_b).latency_ms
+
+    def bandwidth_mbps(self, loc_a: int, loc_b: int) -> float:
+        return self.link(loc_a, loc_b).bandwidth_mbps
+
+    def transfer_time_ms(self, loc_a: int, loc_b: int, payload_bytes: float) -> float:
+        """One-way transfer time of a payload between two locations."""
+        return self.link(loc_a, loc_b).transfer_time_ms(payload_bytes)
+
+    def round_trip_ms(
+        self, loc_a: int, loc_b: int, request_bytes: float, response_bytes: float
+    ) -> float:
+        """Request + response transfer time for one invocation between two locations."""
+        link = self.link(loc_a, loc_b)
+        return link.transfer_time_ms(request_bytes) + link.transfer_time_ms(response_bytes)
+
+    def extra_delay_ms(
+        self,
+        before: Tuple[int, int],
+        after: Tuple[int, int],
+        request_bytes: float,
+        response_bytes: float,
+    ) -> float:
+        """Delay Δ of Eq. 2: the additional round-trip time caused by relocating the pair.
+
+        ``before``/``after`` are (caller location, callee location) pairs.  The latency
+        term uses the round-trip difference once per invocation (γ is an RTT), and the
+        serialization term covers both the request and the response payloads, matching
+        the simulator's per-invocation accounting.  The result is clamped at zero:
+        moving a pair onto the same datacenter never *adds* latency in the estimator.
+        """
+        before_link = self.link(*before)
+        after_link = self.link(*after)
+        total_bytes = request_bytes + response_bytes
+        delta = (after_link.latency_ms - before_link.latency_ms) + total_bytes * (
+            1.0 / after_link.bytes_per_ms - 1.0 / before_link.bytes_per_ms
+        )
+        return max(delta, 0.0)
+
+
+def default_network_model(
+    intra_latency_ms: float = 0.168,
+    intra_bandwidth_mbps: float = 941.0,
+    inter_latency_ms: float = 23.015,
+    inter_bandwidth_mbps: float = 921.0,
+) -> NetworkModel:
+    """The two-location network of the paper's testbed."""
+    intra = LinkSpec(intra_latency_ms, intra_bandwidth_mbps)
+    inter = LinkSpec(inter_latency_ms, inter_bandwidth_mbps)
+    return NetworkModel(
+        {
+            (ON_PREM, ON_PREM): intra,
+            (CLOUD, CLOUD): intra,
+            (ON_PREM, CLOUD): inter,
+        }
+    )

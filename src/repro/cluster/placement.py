@@ -1,0 +1,170 @@
+"""Migration plans: where each application component runs.
+
+A :class:`MigrationPlan` is the unit of search in Atlas — a mapping from component name
+to a location id (0 = on-prem, 1 = cloud in the default two-location setup).  The class
+offers the vector view used by the genetic algorithm and the DRL crossover agent,
+set-style accessors used by the quality models, and (de)serialization helpers used by
+the examples.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .topology import CLOUD, ON_PREM
+
+__all__ = ["MigrationPlan"]
+
+
+class MigrationPlan(Mapping[str, int]):
+    """An immutable assignment of every component to a location.
+
+    The component order is fixed at construction time so that :meth:`to_vector` /
+    :meth:`from_vector` round-trip deterministically — the genetic algorithm and the DRL
+    agent operate on the vector representation.
+    """
+
+    __slots__ = ("_components", "_locations", "_index")
+
+    def __init__(self, assignment: Mapping[str, int], order: Optional[Sequence[str]] = None):
+        if order is None:
+            order = list(assignment)
+        else:
+            order = list(order)
+            missing = set(order) ^ set(assignment)
+            if missing:
+                raise ValueError(f"order and assignment disagree on components: {sorted(missing)}")
+        self._components: Tuple[str, ...] = tuple(order)
+        self._locations: Tuple[int, ...] = tuple(int(assignment[c]) for c in self._components)
+        for comp, loc in zip(self._components, self._locations):
+            if loc < 0:
+                raise ValueError(f"negative location for component {comp!r}")
+        self._index: Dict[str, int] = {c: i for i, c in enumerate(self._components)}
+
+    # -- Mapping interface --------------------------------------------------------
+    def __getitem__(self, component: str) -> int:
+        try:
+            return self._locations[self._index[component]]
+        except KeyError:
+            raise KeyError(f"component {component!r} not in plan") from None
+
+    def __iter__(self):
+        return iter(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __hash__(self) -> int:
+        return hash((self._components, self._locations))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MigrationPlan):
+            return NotImplemented
+        return self._components == other._components and self._locations == other._locations
+
+    # -- constructors --------------------------------------------------------------
+    @classmethod
+    def all_on_prem(cls, components: Sequence[str]) -> "MigrationPlan":
+        """The status-quo plan with every component on-premises."""
+        return cls({c: ON_PREM for c in components}, order=components)
+
+    @classmethod
+    def all_cloud(cls, components: Sequence[str]) -> "MigrationPlan":
+        return cls({c: CLOUD for c in components}, order=components)
+
+    @classmethod
+    def from_offloaded(
+        cls, components: Sequence[str], offloaded: Iterable[str]
+    ) -> "MigrationPlan":
+        """Plan that offloads exactly the given components to the cloud."""
+        offloaded = set(offloaded)
+        unknown = offloaded - set(components)
+        if unknown:
+            raise ValueError(f"offloaded components not in application: {sorted(unknown)}")
+        return cls(
+            {c: (CLOUD if c in offloaded else ON_PREM) for c in components}, order=components
+        )
+
+    @classmethod
+    def from_vector(
+        cls, components: Sequence[str], vector: Sequence[int]
+    ) -> "MigrationPlan":
+        if len(components) != len(vector):
+            raise ValueError(
+                f"vector length {len(vector)} does not match component count {len(components)}"
+            )
+        return cls({c: int(v) for c, v in zip(components, vector)}, order=components)
+
+    # -- views -----------------------------------------------------------------------
+    @property
+    def components(self) -> List[str]:
+        return list(self._components)
+
+    def to_vector(self) -> List[int]:
+        """Location vector in the plan's canonical component order."""
+        return list(self._locations)
+
+    def location_of(self, component: str) -> int:
+        return self[component]
+
+    def offloaded(self) -> List[str]:
+        """Components placed anywhere other than on-prem."""
+        return [c for c, loc in zip(self._components, self._locations) if loc != ON_PREM]
+
+    def on_prem(self) -> List[str]:
+        return [c for c, loc in zip(self._components, self._locations) if loc == ON_PREM]
+
+    def components_at(self, location: int) -> List[str]:
+        return [c for c, loc in zip(self._components, self._locations) if loc == location]
+
+    def offload_count(self) -> int:
+        return len(self.offloaded())
+
+    def is_cross_location(self, comp_a: str, comp_b: str) -> bool:
+        """Whether the two components live in different datacenters under this plan."""
+        return self[comp_a] != self[comp_b]
+
+    def moved_components(self, baseline: "MigrationPlan") -> List[str]:
+        """Components whose location differs from ``baseline`` (usually all-on-prem)."""
+        if set(baseline.components) != set(self._components):
+            raise ValueError("plans describe different component sets")
+        return [c for c in self._components if self[c] != baseline[c]]
+
+    # -- derivation --------------------------------------------------------------------
+    def with_location(self, component: str, location: int) -> "MigrationPlan":
+        """A copy of this plan with one component reassigned."""
+        if component not in self._index:
+            raise KeyError(f"component {component!r} not in plan")
+        assignment = dict(zip(self._components, self._locations))
+        assignment[component] = int(location)
+        return MigrationPlan(assignment, order=self._components)
+
+    def with_pinned(self, pins: Mapping[str, int]) -> "MigrationPlan":
+        """A copy of this plan with the given components forced to fixed locations."""
+        assignment = dict(zip(self._components, self._locations))
+        for comp, loc in pins.items():
+            if comp not in assignment:
+                raise KeyError(f"component {comp!r} not in plan")
+            assignment[comp] = int(loc)
+        return MigrationPlan(assignment, order=self._components)
+
+    # -- serialization -------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, int]:
+        return dict(zip(self._components, self._locations))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str, order: Optional[Sequence[str]] = None) -> "MigrationPlan":
+        data = json.loads(payload)
+        if not isinstance(data, dict):
+            raise ValueError("plan JSON must be an object mapping component -> location")
+        return cls({str(k): int(v) for k, v in data.items()}, order=order)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"MigrationPlan(offloaded={self.offload_count()}/{len(self)}: "
+            f"{sorted(self.offloaded())})"
+        )

@@ -1,0 +1,198 @@
+"""Hybrid cloud topology: datacenters, node types and the cluster as a whole.
+
+The paper's evaluation uses a two-datacenter hybrid cloud: a ten-node on-premises
+cluster (CloudLab Wisconsin) and a public-cloud datacenter (Massachusetts) whose nodes
+are allocated on demand through a cluster autoscaler.  This module captures that setup
+— which locations exist, what hardware a node provides, how many nodes the on-prem
+site owns — without prescribing where components run (that is a
+:class:`repro.cluster.placement.MigrationPlan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "ON_PREM",
+    "CLOUD",
+    "NodeSpec",
+    "Datacenter",
+    "HybridCluster",
+    "default_hybrid_cluster",
+]
+
+#: Canonical location indices used throughout the code base (paper Sec. 4.1).
+ON_PREM = 0
+CLOUD = 1
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware specification of one node type.
+
+    ``cpu_millicores`` uses the Kubernetes convention (1 core = 1000 millicores).
+    """
+
+    name: str
+    cpu_millicores: float
+    memory_mb: float
+    storage_gb: float = 480.0
+    hourly_price_usd: float = 0.096
+
+    def __post_init__(self) -> None:
+        if self.cpu_millicores <= 0 or self.memory_mb <= 0:
+            raise ValueError("node CPU and memory must be positive")
+        if self.hourly_price_usd < 0:
+            raise ValueError("node price must be non-negative")
+
+    @property
+    def cpu_cores(self) -> float:
+        return self.cpu_millicores / 1000.0
+
+
+@dataclass
+class Datacenter:
+    """One datacenter (location) of the hybrid cloud."""
+
+    name: str
+    location_id: int
+    node_spec: NodeSpec
+    node_count: Optional[int] = None
+    elastic: bool = False
+    region: str = ""
+
+    def __post_init__(self) -> None:
+        if self.node_count is None and not self.elastic:
+            raise ValueError(
+                f"datacenter {self.name!r} must either be elastic or have a node_count"
+            )
+        if self.node_count is not None and self.node_count <= 0:
+            raise ValueError("node_count must be positive when provided")
+
+    # -- capacity ---------------------------------------------------------------
+    def cpu_capacity_millicores(self) -> float:
+        """Total CPU capacity; infinite for elastic (cloud) datacenters."""
+        if self.elastic:
+            return float("inf")
+        return self.node_spec.cpu_millicores * (self.node_count or 0)
+
+    def memory_capacity_mb(self) -> float:
+        if self.elastic:
+            return float("inf")
+        return self.node_spec.memory_mb * (self.node_count or 0)
+
+    def storage_capacity_gb(self) -> float:
+        if self.elastic:
+            return float("inf")
+        return self.node_spec.storage_gb * (self.node_count or 0)
+
+    def capacity(self, resource: str) -> float:
+        """Capacity for a named resource: ``cpu`` / ``memory`` / ``storage``."""
+        if resource == "cpu":
+            return self.cpu_capacity_millicores()
+        if resource == "memory":
+            return self.memory_capacity_mb()
+        if resource == "storage":
+            return self.storage_capacity_gb()
+        raise KeyError(f"unknown resource {resource!r}")
+
+
+class HybridCluster:
+    """A collection of datacenters forming the hybrid cloud.
+
+    The default (and the paper's) configuration has exactly two: an inelastic on-prem
+    datacenter and an elastic public cloud.  The class supports more locations so the
+    multi-cloud/sky-computing extension discussed in Section 6 can be expressed.
+    """
+
+    def __init__(self, datacenters: List[Datacenter]) -> None:
+        if not datacenters:
+            raise ValueError("a hybrid cluster needs at least one datacenter")
+        ids = [dc.location_id for dc in datacenters]
+        if len(set(ids)) != len(ids):
+            raise ValueError("datacenter location ids must be unique")
+        self._by_id: Dict[int, Datacenter] = {dc.location_id: dc for dc in datacenters}
+
+    # -- accessors --------------------------------------------------------------
+    @property
+    def datacenters(self) -> List[Datacenter]:
+        return [self._by_id[i] for i in sorted(self._by_id)]
+
+    @property
+    def location_ids(self) -> List[int]:
+        return sorted(self._by_id)
+
+    def datacenter(self, location_id: int) -> Datacenter:
+        try:
+            return self._by_id[location_id]
+        except KeyError:
+            raise KeyError(f"unknown location id {location_id}") from None
+
+    @property
+    def on_prem(self) -> Datacenter:
+        """The on-premises datacenter (location 0)."""
+        return self.datacenter(ON_PREM)
+
+    @property
+    def cloud(self) -> Datacenter:
+        """The (first) public-cloud datacenter (location 1)."""
+        return self.datacenter(CLOUD)
+
+    def on_prem_capacity(self, resource: str) -> float:
+        return self.on_prem.capacity(resource)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        parts = ", ".join(
+            f"{dc.name}(id={dc.location_id}, elastic={dc.elastic})" for dc in self.datacenters
+        )
+        return f"HybridCluster({parts})"
+
+
+def default_hybrid_cluster(
+    on_prem_nodes: int = 10,
+    on_prem_cpu_cores: float = 20.0,
+    on_prem_memory_gb: float = 160.0,
+    cloud_cpu_cores: float = 4.0,
+    cloud_memory_gb: float = 16.0,
+    cloud_hourly_price_usd: float = 0.096 * 2,
+) -> HybridCluster:
+    """The paper's evaluation setup.
+
+    On-prem: ten CloudLab c220g2 nodes, each with 2x10 cores and 160 GB memory.
+    Cloud: elastic m5.xlarge-class nodes allocated by the cluster autoscaler.
+    """
+    on_prem_spec = NodeSpec(
+        name="c220g2",
+        cpu_millicores=on_prem_cpu_cores * 1000.0,
+        memory_mb=on_prem_memory_gb * 1024.0,
+        storage_gb=480.0,
+        hourly_price_usd=0.0,
+    )
+    cloud_spec = NodeSpec(
+        name="cloud-node",
+        cpu_millicores=cloud_cpu_cores * 1000.0,
+        memory_mb=cloud_memory_gb * 1024.0,
+        storage_gb=900.0,
+        hourly_price_usd=cloud_hourly_price_usd,
+    )
+    return HybridCluster(
+        [
+            Datacenter(
+                name="on-prem",
+                location_id=ON_PREM,
+                node_spec=on_prem_spec,
+                node_count=on_prem_nodes,
+                elastic=False,
+                region="wisconsin",
+            ),
+            Datacenter(
+                name="cloud",
+                location_id=CLOUD,
+                node_spec=cloud_spec,
+                node_count=None,
+                elastic=True,
+                region="massachusetts",
+            ),
+        ]
+    )

@@ -1,0 +1,175 @@
+"""Resource estimation (the paper's DeepRest [34] dependency).
+
+Atlas needs, for the period of interest, the *expected* per-component resource usage
+``Ũ^r_c[t]`` given the expected API traffic — to check the on-prem capacity constraint
+and to price the cloud side of a plan.  The paper delegates this to DeepRest, an
+API-aware deep resource estimator.  DeepRest itself is closed; we substitute a linear
+API-attribution model with the same interface: it learns, from the same telemetry, how
+much of each resource one request of each API costs a component, and extrapolates to any
+future API traffic (including traffic scaled well beyond what was observed, which is the
+hybrid-burst use case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import nnls
+
+from ..apps.model import Application
+from ..telemetry.server import TelemetryServer
+
+__all__ = ["ResourceEstimate", "ResourceEstimator"]
+
+#: Resources the estimator models.  Storage is taken from deployment metadata because a
+#: database's on-disk size is not proportional to the instantaneous request rate.
+MODELED_RESOURCES = ("cpu_millicores", "memory_mb")
+
+
+@dataclass
+class ResourceEstimate:
+    """Expected per-component usage series for a period of interest.
+
+    ``usage[resource][component]`` is a list over time steps; all series share
+    ``step_ms``.
+    """
+
+    step_ms: float
+    usage: Dict[str, Dict[str, List[float]]]
+    api_rates: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def steps(self) -> int:
+        for per_component in self.usage.values():
+            for series in per_component.values():
+                return len(series)
+        return 0
+
+    def component_series(self, resource: str, component: str) -> List[float]:
+        return list(self.usage.get(resource, {}).get(component, []))
+
+    def aggregate_series(
+        self, resource: str, components: Sequence[str]
+    ) -> List[float]:
+        """Sum of one resource over a component subset, per time step."""
+        steps = self.steps
+        selected = set(components)
+        totals = [0.0] * steps
+        for component, series in self.usage.get(resource, {}).items():
+            if component in selected:
+                for i, value in enumerate(series):
+                    totals[i] += value
+        return totals
+
+    def peak(self, resource: str, components: Sequence[str]) -> float:
+        series = self.aggregate_series(resource, components)
+        return max(series) if series else 0.0
+
+
+class ResourceEstimator:
+    """API-aware linear resource estimator (DeepRest substitute).
+
+    For every component and resource it fits ``usage[t] ≈ idle + Σ_A coef_A * rate_A[t]``
+    with non-negative coefficients, where ``rate_A[t]`` is the number of requests of API
+    ``A`` observed in window ``t``.
+    """
+
+    def __init__(self, application: Application, telemetry: TelemetryServer) -> None:
+        self.application = application
+        self.telemetry = telemetry
+        self._apis: List[str] = []
+        # (resource, component) -> (idle, coefficients aligned with self._apis)
+        self._models: Dict[Tuple[str, str], Tuple[float, np.ndarray]] = {}
+        self._fitted = False
+
+    # -- fitting --------------------------------------------------------------------------
+    def fit(self) -> "ResourceEstimator":
+        """Fit attribution models from the telemetry collected during application learning."""
+        rates = self.telemetry.api_request_rates()
+        if not rates:
+            raise ValueError("telemetry contains no API traffic to fit on")
+        self._apis = sorted(rates)
+        n_windows = min(len(series) for series in rates.values())
+        if n_windows < 2:
+            raise ValueError("need at least two telemetry windows to fit the estimator")
+        design = np.column_stack(
+            [np.asarray(rates[api][:n_windows], dtype=float) for api in self._apis]
+        )
+        # Affine term models idle usage.
+        design_affine = np.column_stack([np.ones(n_windows), design])
+        windows = self.telemetry.common_windows()[:n_windows]
+        for component in self.application.component_names:
+            for resource in MODELED_RESOURCES:
+                series = np.asarray(
+                    self.telemetry.metrics.series(component, resource, windows), dtype=float
+                )
+                if series.size == 0 or not series.any():
+                    self._models[(resource, component)] = (0.0, np.zeros(len(self._apis)))
+                    continue
+                coef, _residual = nnls(design_affine, series)
+                self._models[(resource, component)] = (float(coef[0]), coef[1:])
+        self._fitted = True
+        return self
+
+    @property
+    def apis(self) -> List[str]:
+        return list(self._apis)
+
+    def attribution(self, resource: str, component: str) -> Dict[str, float]:
+        """Per-API usage attribution coefficients for one component/resource."""
+        self._require_fitted()
+        _idle, coef = self._models[(resource, component)]
+        return {api: float(c) for api, c in zip(self._apis, coef)}
+
+    # -- prediction ------------------------------------------------------------------------
+    def predict(
+        self,
+        api_rates: Mapping[str, Sequence[float]],
+        step_ms: Optional[float] = None,
+    ) -> ResourceEstimate:
+        """Expected usage for the given per-window API request counts."""
+        self._require_fitted()
+        step_ms = step_ms or self.telemetry.window_ms
+        if not api_rates:
+            raise ValueError("api_rates must not be empty")
+        steps = max(len(series) for series in api_rates.values())
+        rate_matrix = np.zeros((steps, len(self._apis)))
+        for col, api in enumerate(self._apis):
+            series = list(api_rates.get(api, []))
+            for row in range(min(steps, len(series))):
+                rate_matrix[row, col] = series[row]
+        usage: Dict[str, Dict[str, List[float]]] = {r: {} for r in MODELED_RESOURCES}
+        for (resource, component), (idle, coef) in self._models.items():
+            predicted = idle + rate_matrix @ coef
+            usage[resource][component] = [float(max(v, 0.0)) for v in predicted]
+        # Storage comes from deployment metadata (GB on disk, not rate-dependent).
+        usage["storage_gb"] = {
+            comp.name: [comp.resources.storage_gb] * steps
+            for comp in self.application.components
+        }
+        return ResourceEstimate(
+            step_ms=step_ms,
+            usage=usage,
+            api_rates={api: list(series) for api, series in api_rates.items()},
+        )
+
+    def predict_scaled(self, scale: float, steps: Optional[int] = None) -> ResourceEstimate:
+        """Expected usage if the observed traffic were multiplied by ``scale``.
+
+        This is the paper's evaluation setting: "serve API traffic with 5x more users
+        than ever".
+        """
+        if scale < 0:
+            raise ValueError("scale must be non-negative")
+        observed = self.telemetry.api_request_rates()
+        scaled = {
+            api: [v * scale for v in (series if steps is None else series[:steps])]
+            for api, series in observed.items()
+        }
+        return self.predict(scaled)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("ResourceEstimator.fit() must be called before prediction")

@@ -1,0 +1,136 @@
+"""Post-migration drift detection (Section 4.3, Figure 9/17).
+
+After a plan is executed, Atlas keeps comparing each API's recent latency distribution
+against the distribution it predicted (and the one it measured) when the plan was
+chosen.  The comparison uses Kullback-Leibler divergence over a shared histogram.
+Because KL has no upper bound, significance is judged relative to a per-API baseline:
+the divergence between the measured post-migration distribution and Atlas's own
+approximation at recommendation time.  When the recent distribution loses many times
+more information than that baseline, the footprints are considered outdated and a new
+recommendation round is triggered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["kl_divergence", "DriftReport", "DriftDetector"]
+
+
+def kl_divergence(
+    reference: Sequence[float],
+    candidate: Sequence[float],
+    bins: int = 20,
+    value_range: Optional[tuple] = None,
+) -> float:
+    """KL(reference || candidate) between two latency sample sets.
+
+    Both sample sets are histogrammed over a common support (the union of their ranges
+    unless ``value_range`` is given).  Laplace (add-one) smoothing keeps the divergence
+    finite and bounded even for distributions with little overlap or with few samples,
+    which is what makes the relative comparison against the per-API baseline meaningful.
+    """
+    ref = np.asarray(list(reference), dtype=float)
+    cand = np.asarray(list(candidate), dtype=float)
+    if ref.size == 0 or cand.size == 0:
+        raise ValueError("both sample sets must be non-empty")
+    if bins <= 1:
+        raise ValueError("bins must be greater than 1")
+    if value_range is None:
+        lo = float(min(ref.min(), cand.min()))
+        hi = float(max(ref.max(), cand.max()))
+        if hi <= lo:
+            hi = lo + 1.0
+        value_range = (lo, hi)
+    ref_hist, edges = np.histogram(ref, bins=bins, range=value_range)
+    cand_hist, _ = np.histogram(cand, bins=edges)
+    p = ref_hist.astype(float) + 1.0
+    q = cand_hist.astype(float) + 1.0
+    p /= p.sum()
+    q /= q.sum()
+    return float(np.sum(p * np.log(p / q)))
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one drift check for one API."""
+
+    api: str
+    baseline_divergence: float
+    recent_divergence: float
+    threshold_factor: float
+
+    @property
+    def information_loss_factor(self) -> float:
+        """How many times more information the recent distribution loses than the baseline."""
+        if self.baseline_divergence <= 0:
+            return float("inf") if self.recent_divergence > 0 else 1.0
+        return self.recent_divergence / self.baseline_divergence
+
+    @property
+    def drift_detected(self) -> bool:
+        return self.information_loss_factor > self.threshold_factor
+
+
+class DriftDetector:
+    """Per-API drift detection against the last recommendation round."""
+
+    def __init__(
+        self,
+        approx_latencies: Mapping[str, Sequence[float]],
+        real_latencies: Mapping[str, Sequence[float]],
+        threshold_factor: float = 5.0,
+        bins: int = 20,
+    ) -> None:
+        """``approx_latencies`` are Atlas's delay-injection estimates made when the plan
+        was recommended; ``real_latencies`` are the distributions measured right after
+        the migration (the previous round's ground truth)."""
+        if threshold_factor <= 1.0:
+            raise ValueError("threshold_factor must be greater than 1")
+        missing = set(approx_latencies) ^ set(real_latencies)
+        if missing:
+            raise ValueError(f"approx and real distributions disagree on APIs: {sorted(missing)}")
+        self._approx = {api: list(v) for api, v in approx_latencies.items()}
+        self._real = {api: list(v) for api, v in real_latencies.items()}
+        self.threshold_factor = threshold_factor
+        self.bins = bins
+
+    @property
+    def apis(self) -> List[str]:
+        return sorted(self._real)
+
+    def baseline_divergence(self, api: str) -> float:
+        """D_KL(b_real, b_approx): the approximation error accepted at recommendation time."""
+        return kl_divergence(self._real[api], self._approx[api], bins=self.bins)
+
+    def check(self, api: str, recent_latencies: Sequence[float]) -> DriftReport:
+        """Compare the most recent latency samples of one API against the baseline."""
+        if api not in self._real:
+            raise KeyError(f"API {api!r} was not part of the last recommendation round")
+        baseline = self.baseline_divergence(api)
+        recent = kl_divergence(self._real[api], recent_latencies, bins=self.bins)
+        return DriftReport(
+            api=api,
+            baseline_divergence=baseline,
+            recent_divergence=recent,
+            threshold_factor=self.threshold_factor,
+        )
+
+    def check_all(
+        self, recent_latencies: Mapping[str, Sequence[float]]
+    ) -> Dict[str, DriftReport]:
+        return {
+            api: self.check(api, samples)
+            for api, samples in recent_latencies.items()
+            if api in self._real and len(samples) > 0
+        }
+
+    def drifted_apis(self, recent_latencies: Mapping[str, Sequence[float]]) -> List[str]:
+        return [
+            api
+            for api, report in self.check_all(recent_latencies).items()
+            if report.drift_detected
+        ]

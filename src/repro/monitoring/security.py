@@ -1,0 +1,114 @@
+"""Data-breach detection from network footprints (Section 6, Figure 22).
+
+The learned per-API footprints state how many bytes each component pair *should*
+exchange to serve the API traffic actually received.  Reconstructing the expected
+traffic from the footprints and the observed API request counts, and comparing it with
+the traffic the mesh actually measured, exposes exfiltration: a component (e.g. a
+MongoDB) suddenly sending far more data than the served requests justify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..learning.footprint import NetworkFootprint
+
+__all__ = ["TrafficAnomaly", "BreachDetector"]
+
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class TrafficAnomaly:
+    """One window in which a component pair moved much more data than expected."""
+
+    window: int
+    source: str
+    destination: str
+    expected_bytes: float
+    observed_bytes: float
+
+    @property
+    def excess_bytes(self) -> float:
+        return max(self.observed_bytes - self.expected_bytes, 0.0)
+
+    @property
+    def ratio(self) -> float:
+        if self.expected_bytes <= 0:
+            return float("inf") if self.observed_bytes > 0 else 1.0
+        return self.observed_bytes / self.expected_bytes
+
+
+class BreachDetector:
+    """Flags windows whose observed pair traffic cannot be justified by the API traffic."""
+
+    def __init__(
+        self,
+        footprint: NetworkFootprint,
+        ratio_threshold: float = 2.0,
+        min_excess_bytes: float = 50_000.0,
+    ) -> None:
+        if ratio_threshold <= 1.0:
+            raise ValueError("ratio_threshold must be greater than 1")
+        if min_excess_bytes < 0:
+            raise ValueError("min_excess_bytes must be non-negative")
+        self.footprint = footprint
+        self.ratio_threshold = ratio_threshold
+        self.min_excess_bytes = min_excess_bytes
+
+    # -- expectation ---------------------------------------------------------------------
+    def expected_traffic(
+        self, api_request_counts: Mapping[str, float]
+    ) -> Dict[Pair, float]:
+        """Expected bytes per directed pair given per-API request counts for one window."""
+        return self.footprint.expected_pair_traffic(api_request_counts)
+
+    # -- detection ------------------------------------------------------------------------
+    def scan_window(
+        self,
+        window: int,
+        api_request_counts: Mapping[str, float],
+        observed_pair_bytes: Mapping[Pair, float],
+    ) -> List[TrafficAnomaly]:
+        """Anomalies in one window: pairs whose observed bytes exceed expectation."""
+        expected = self.expected_traffic(api_request_counts)
+        anomalies: List[TrafficAnomaly] = []
+        for pair, observed in observed_pair_bytes.items():
+            exp = expected.get(pair, 0.0)
+            anomaly = TrafficAnomaly(
+                window=window,
+                source=pair[0],
+                destination=pair[1],
+                expected_bytes=exp,
+                observed_bytes=observed,
+            )
+            if (
+                anomaly.excess_bytes >= self.min_excess_bytes
+                and anomaly.ratio >= self.ratio_threshold
+            ):
+                anomalies.append(anomaly)
+        return anomalies
+
+    def scan(
+        self,
+        api_request_counts_by_window: Mapping[int, Mapping[str, float]],
+        observed_bytes_by_window: Mapping[int, Mapping[Pair, float]],
+    ) -> List[TrafficAnomaly]:
+        """Scan a whole observation period; returns anomalies sorted by window."""
+        anomalies: List[TrafficAnomaly] = []
+        for window in sorted(observed_bytes_by_window):
+            counts = api_request_counts_by_window.get(window, {})
+            anomalies.extend(
+                self.scan_window(window, counts, observed_bytes_by_window[window])
+            )
+        return anomalies
+
+    def breach_windows(
+        self,
+        api_request_counts_by_window: Mapping[int, Mapping[str, float]],
+        observed_bytes_by_window: Mapping[int, Mapping[Pair, float]],
+    ) -> List[int]:
+        """Windows in which at least one anomaly was detected."""
+        anomalies = self.scan(api_request_counts_by_window, observed_bytes_by_window)
+        return sorted({a.window for a in anomalies})

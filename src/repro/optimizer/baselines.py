@@ -1,0 +1,322 @@
+"""Baseline migration strategies the paper compares Atlas against (Section 5.2).
+
+Single-plan approaches:
+
+* :class:`GreedyBusiestBaseline` / :class:`GreedySmallestBaseline` — offload the most /
+  least resource-consuming components until the on-prem cluster can host the rest
+  (Seagull-style cloud bursting [45]).
+* :class:`IntMABaseline` — offload components so that the total traffic size between
+  datacenters is minimized (interaction-aware placement [57]).
+* :class:`REMaPBaseline` — like IntMA but the affinity combines traffic size and the
+  number of message exchanges [68].
+
+Multi-plan approaches:
+
+* :class:`AffinityNSGA2Baseline` — NSGA-II with two objectives: cross-datacenter
+  traffic (a proxy for performance) and cloud hosting cost (same cost model as Atlas);
+  representative of [29, 39, 44, 47, 53].
+* :class:`RandomSearchBaseline` — uniformly random feasible plans, keeping the Pareto
+  set under Atlas's own quality model.
+
+All baselines honour the owner's pinned placements and use the same resource estimate
+for feasibility, so the comparison isolates the placement *policy*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.placement import MigrationPlan
+from ..cluster.topology import CLOUD, ON_PREM
+from ..quality.evaluator import PlanQuality, QualityEvaluator
+from .nsga2 import (
+    bitflip_mutation,
+    rank_population,
+    survival_selection,
+    tournament_pairs,
+    uniform_crossover,
+)
+from .pareto import pareto_front
+
+__all__ = [
+    "BaselineContext",
+    "GreedyBusiestBaseline",
+    "GreedySmallestBaseline",
+    "IntMABaseline",
+    "REMaPBaseline",
+    "AffinityNSGA2Baseline",
+    "RandomSearchBaseline",
+]
+
+Pair = Tuple[str, str]
+
+
+@dataclass
+class BaselineContext:
+    """Shared inputs of all baselines.
+
+    ``traffic_matrix`` and ``message_matrix`` come from the mesh telemetry (total bytes
+    and invocation counts per directed component pair); ``busyness`` is the mean CPU of
+    each component from the component profiles; ``evaluator`` provides feasibility
+    checking (on-prem limits, pins) against the same resource estimate Atlas uses.
+    """
+
+    components: List[str]
+    evaluator: QualityEvaluator
+    traffic_matrix: Dict[Pair, float]
+    message_matrix: Dict[Pair, float] = field(default_factory=dict)
+    busyness: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("baseline context needs at least one component")
+
+    # -- helpers -------------------------------------------------------------------------
+    @property
+    def movable_components(self) -> List[str]:
+        pinned = self.evaluator.preferences.pinned_placement
+        return [c for c in self.components if c not in pinned]
+
+    def all_on_prem(self) -> MigrationPlan:
+        plan = MigrationPlan.all_on_prem(self.components)
+        pins = self.evaluator.preferences.pinned_placement
+        return plan.with_pinned(pins) if pins else plan
+
+    def feasible(self, plan: MigrationPlan) -> bool:
+        return self.evaluator.is_feasible(plan)
+
+    def cross_dc_affinity(
+        self, plan: MigrationPlan, message_weight: float = 0.0
+    ) -> float:
+        """Affinity (bytes + optional message count) crossing the datacenter boundary."""
+        total = 0.0
+        for (src, dst), traffic in self.traffic_matrix.items():
+            if src not in plan or dst not in plan:
+                continue
+            if plan[src] != plan[dst]:
+                total += traffic
+                if message_weight > 0.0:
+                    total += message_weight * self.message_matrix.get((src, dst), 0.0)
+        return total
+
+
+class _GreedyBaseline:
+    """Offload components in a fixed busyness order until the plan becomes feasible."""
+
+    #: True = offload the busiest first, False = the least busy first.
+    descending = True
+    name = "greedy"
+
+    def __init__(self, context: BaselineContext) -> None:
+        self.context = context
+
+    def recommend(self) -> MigrationPlan:
+        plan = self.context.all_on_prem()
+        if self.context.feasible(plan):
+            return plan
+        order = sorted(
+            self.context.movable_components,
+            key=lambda c: self.context.busyness.get(c, 0.0),
+            reverse=self.descending,
+        )
+        for component in order:
+            plan = plan.with_location(component, CLOUD)
+            if self.context.feasible(plan):
+                return plan
+        return plan  # Best effort: everything movable is offloaded.
+
+
+class GreedyBusiestBaseline(_GreedyBaseline):
+    """Offload the largest (most CPU-consuming) components first [45]."""
+
+    descending = True
+    name = "greedy-largest"
+
+
+class GreedySmallestBaseline(_GreedyBaseline):
+    """Offload the smallest (least CPU-consuming) components first."""
+
+    descending = False
+    name = "greedy-smallest"
+
+
+class _AffinityHeuristicBaseline:
+    """Greedy affinity minimization with a local-improvement pass (REMaP / IntMA)."""
+
+    message_weight = 0.0
+    name = "affinity"
+
+    def __init__(self, context: BaselineContext, improvement_passes: int = 2) -> None:
+        self.context = context
+        self.improvement_passes = improvement_passes
+
+    def recommend(self) -> MigrationPlan:
+        plan = self.context.all_on_prem()
+        movable = set(self.context.movable_components)
+        # Phase 1: offload until feasible, each step picking the component whose move
+        # yields the smallest cross-datacenter affinity.
+        guard = len(self.context.components) + 1
+        while not self.context.feasible(plan) and guard > 0:
+            guard -= 1
+            candidates = [c for c in movable if plan[c] == ON_PREM]
+            if not candidates:
+                break
+            best = min(
+                candidates,
+                key=lambda c: self.context.cross_dc_affinity(
+                    plan.with_location(c, CLOUD), self.message_weight
+                ),
+            )
+            plan = plan.with_location(best, CLOUD)
+        # Phase 2: hill climbing on single flips that reduce affinity while staying feasible.
+        for _ in range(self.improvement_passes):
+            improved = False
+            current_affinity = self.context.cross_dc_affinity(plan, self.message_weight)
+            for component in sorted(movable):
+                flipped = plan.with_location(
+                    component, CLOUD if plan[component] == ON_PREM else ON_PREM
+                )
+                if not self.context.feasible(flipped):
+                    continue
+                affinity = self.context.cross_dc_affinity(flipped, self.message_weight)
+                if affinity < current_affinity:
+                    plan, current_affinity = flipped, affinity
+                    improved = True
+            if not improved:
+                break
+        return plan
+
+
+class IntMABaseline(_AffinityHeuristicBaseline):
+    """Interaction-aware placement minimizing cross-datacenter traffic size [57]."""
+
+    message_weight = 0.0
+    name = "intma"
+
+
+class REMaPBaseline(_AffinityHeuristicBaseline):
+    """Runtime placement adaptation minimizing traffic size and message exchanges [68]."""
+
+    #: Bytes-equivalent weight of one message exchange (REMaP counts both signals).
+    message_weight = 256.0
+    name = "remap"
+
+
+@dataclass
+class AffinityNSGA2Result:
+    """Plans found by the affinity-based GA, with its internal objective values."""
+
+    plans: List[MigrationPlan]
+    objectives: List[Tuple[float, float]]
+    evaluations: int
+
+
+class AffinityNSGA2Baseline:
+    """NSGA-II over (cross-DC traffic, cloud cost) with random crossover.
+
+    The cost objective reuses Atlas's cost model (as the paper does for fairness); the
+    performance proxy is the total traffic between datacenters, i.e. the baseline has no
+    notion of API workflows.
+    """
+
+    name = "affinity-ga"
+
+    def __init__(
+        self,
+        context: BaselineContext,
+        population_size: int = 100,
+        evaluation_budget: int = 10_000,
+        mutation_rate: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        self.context = context
+        self.population_size = population_size
+        self.evaluation_budget = evaluation_budget
+        self.mutation_rate = mutation_rate
+        self._rng = np.random.default_rng(seed)
+        self._evaluations = 0
+
+    # -- objectives -----------------------------------------------------------------------
+    def _objectives(self, plan: MigrationPlan) -> Tuple[float, float]:
+        self._evaluations += 1
+        traffic = self.context.cross_dc_affinity(plan)
+        cost = self.context.evaluator.cost.qcost(plan)
+        if not self.context.feasible(plan):
+            penalty = 1e12
+            return (traffic + penalty, cost + penalty)
+        return (traffic, cost)
+
+    def _random_plan(self) -> MigrationPlan:
+        offload_prob = self._rng.uniform(0.15, 0.7)
+        vector = (self._rng.random(len(self.context.components)) < offload_prob).astype(int)
+        plan = MigrationPlan.from_vector(self.context.components, [int(v) for v in vector])
+        pins = self.context.evaluator.preferences.pinned_placement
+        return plan.with_pinned(pins) if pins else plan
+
+    def recommend(self) -> AffinityNSGA2Result:
+        pins = self.context.evaluator.preferences.pinned_placement
+        population = [self._random_plan() for _ in range(self.population_size)]
+        objectives = [self._objectives(p) for p in population]
+        offspring_count = max(self.population_size // 2, 2)
+        while self._evaluations < self.evaluation_budget:
+            ranked = rank_population(objectives)
+            pairs = tournament_pairs(ranked, offspring_count, self._rng)
+            offspring: List[MigrationPlan] = []
+            for idx_a, idx_b in pairs:
+                child = uniform_crossover(
+                    population[idx_a].to_vector(), population[idx_b].to_vector(), self._rng
+                )
+                child = bitflip_mutation(child, self._rng, self.mutation_rate)
+                plan = MigrationPlan.from_vector(self.context.components, child)
+                if pins:
+                    plan = plan.with_pinned(pins)
+                offspring.append(plan)
+            offspring_objectives = [self._objectives(p) for p in offspring]
+            combined = population + offspring
+            combined_objectives = objectives + offspring_objectives
+            survivors = survival_selection(combined_objectives, self.population_size)
+            population = [combined[i] for i in survivors]
+            objectives = [combined_objectives[i] for i in survivors]
+        feasible = [
+            (plan, obj)
+            for plan, obj in zip(population, objectives)
+            if self.context.feasible(plan)
+        ]
+        front = pareto_front(feasible, key=lambda item: item[1])
+        return AffinityNSGA2Result(
+            plans=[plan for plan, _obj in front],
+            objectives=[obj for _plan, obj in front],
+            evaluations=self._evaluations,
+        )
+
+
+class RandomSearchBaseline:
+    """Uniformly random plans; the Pareto set under Atlas's quality model is returned."""
+
+    name = "random-search"
+
+    def __init__(
+        self,
+        context: BaselineContext,
+        evaluation_budget: int = 10_000,
+        seed: int = 0,
+    ) -> None:
+        self.context = context
+        self.evaluation_budget = evaluation_budget
+        self._rng = np.random.default_rng(seed)
+
+    def recommend(self) -> List[PlanQuality]:
+        pins = self.context.evaluator.preferences.pinned_placement
+        feasible: List[PlanQuality] = []
+        for _ in range(self.evaluation_budget):
+            vector = (self._rng.random(len(self.context.components)) < self._rng.uniform(0.1, 0.9)).astype(int)
+            plan = MigrationPlan.from_vector(self.context.components, [int(v) for v in vector])
+            if pins:
+                plan = plan.with_pinned(pins)
+            if not self.context.feasible(plan):
+                continue
+            feasible.append(self.context.evaluator.evaluate(plan))
+        return pareto_front(feasible, key=lambda q: q.objectives())

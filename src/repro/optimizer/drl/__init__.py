@@ -1,0 +1,6 @@
+"""Deep reinforcement learning crossover: NumPy MLP + actor-critic agent."""
+
+from .agent import CrossoverAgent, TrainingHistory
+from .mlp import MLP, AdamOptimizer
+
+__all__ = ["MLP", "AdamOptimizer", "CrossoverAgent", "TrainingHistory"]

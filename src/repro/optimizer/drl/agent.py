@@ -1,0 +1,166 @@
+"""DRL crossover agent (Section 4.2.1).
+
+The agent Λ_θ takes the concatenated location vectors of two parent plans and outputs a
+per-component probability of placing that component in the cloud; sampling from the
+distribution produces the offspring plan (the stochasticity plays the role of GA
+mutation).  The quality indicators are non-differentiable, so the agent is trained with
+a reward-driven actor–critic scheme: the reward (Eq. 5) is positive only for feasible
+children and grows with the number of quality aspects in which the child beats *both*
+parents; the critic provides a per-state baseline so the policy gradient has low
+variance.
+
+Implementation note — reward for infeasible children: Eq. 5 multiplies the aspect count
+by ``(-1)^(1-λ)``, which yields exactly 0 for an infeasible child that beats its parents
+in no aspect.  We floor the infeasible reward at -1 so that infeasibility always carries
+a negative signal; this matches the paper's description ("negates the reward if the plan
+does not satisfy all constraints") and its Figure 21b, where early rewards are
+consistently below zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .mlp import MLP, AdamOptimizer
+
+__all__ = ["CrossoverAgent", "RewardFunction", "TrainingHistory"]
+
+#: reward_fn(child_vector, parent_a_vector, parent_b_vector) -> float
+RewardFunction = Callable[[Sequence[int], Sequence[int], Sequence[int]], float]
+
+_PROB_CLIP = 1e-6
+
+
+@dataclass
+class TrainingHistory:
+    """Per-iteration statistics of agent training (drives Figure 21b)."""
+
+    mean_rewards: List[float] = field(default_factory=list)
+    feasible_fractions: List[float] = field(default_factory=list)
+
+    def smoothed_rewards(self, window: int = 20) -> List[float]:
+        """Moving average of the reward curve (what the paper plots)."""
+        if window <= 1 or not self.mean_rewards:
+            return list(self.mean_rewards)
+        out: List[float] = []
+        for i in range(len(self.mean_rewards)):
+            lo = max(0, i - window + 1)
+            out.append(float(np.mean(self.mean_rewards[lo : i + 1])))
+        return out
+
+
+class CrossoverAgent:
+    """Actor–critic agent producing offspring plans from parent pairs."""
+
+    def __init__(
+        self,
+        n_components: int,
+        hidden_dims: Sequence[int] = (128, 128, 128),
+        learning_rate: float = 1e-3,
+        critic_learning_rate: float = 2e-3,
+        pinned: Optional[Mapping[int, int]] = None,
+        seed: int = 0,
+    ) -> None:
+        if n_components <= 0:
+            raise ValueError("n_components must be positive")
+        self.n_components = n_components
+        self.pinned = dict(pinned or {})
+        self.actor = MLP(2 * n_components, hidden_dims, n_components, head="sigmoid", seed=seed)
+        self.critic = MLP(2 * n_components, hidden_dims[:2], 1, head="linear", seed=seed + 1)
+        self._actor_opt = AdamOptimizer(learning_rate=learning_rate)
+        self._critic_opt = AdamOptimizer(learning_rate=critic_learning_rate)
+        self._rng = np.random.default_rng(seed)
+        self.history = TrainingHistory()
+
+    # -- inference -------------------------------------------------------------------------
+    def state(self, parent_a: Sequence[int], parent_b: Sequence[int]) -> np.ndarray:
+        if len(parent_a) != self.n_components or len(parent_b) != self.n_components:
+            raise ValueError("parent vectors must match the component count")
+        return np.concatenate(
+            [np.asarray(parent_a, dtype=float), np.asarray(parent_b, dtype=float)]
+        )
+
+    def child_probabilities(
+        self, parent_a: Sequence[int], parent_b: Sequence[int]
+    ) -> np.ndarray:
+        """Per-component probability of placing the component in the cloud."""
+        probs = self.actor(self.state(parent_a, parent_b))[0]
+        return np.clip(probs, _PROB_CLIP, 1.0 - _PROB_CLIP)
+
+    def crossover(
+        self,
+        parent_a: Sequence[int],
+        parent_b: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[int]:
+        """Sample an offspring plan; pinned components are masked to their location."""
+        rng = rng or self._rng
+        probs = self.child_probabilities(parent_a, parent_b)
+        child = (rng.random(self.n_components) < probs).astype(int)
+        for index, location in self.pinned.items():
+            child[index] = location
+        return [int(v) for v in child]
+
+    # -- training --------------------------------------------------------------------------
+    def train(
+        self,
+        parent_pairs: Sequence[Tuple[Sequence[int], Sequence[int]]],
+        reward_fn: RewardFunction,
+        iterations: int = 1_000,
+        batch_size: int = 4,
+    ) -> TrainingHistory:
+        """Train the agent on a dataset ``D`` of parent pairs with the given reward."""
+        if not parent_pairs:
+            raise ValueError("training requires at least one parent pair")
+        if iterations <= 0 or batch_size <= 0:
+            raise ValueError("iterations and batch_size must be positive")
+        for _ in range(iterations):
+            batch_rewards: List[float] = []
+            feasible = 0
+            actor_grads = None
+            critic_grads = None
+            for _ in range(batch_size):
+                idx = int(self._rng.integers(0, len(parent_pairs)))
+                parent_a, parent_b = parent_pairs[idx]
+                state = self.state(parent_a, parent_b)
+                probs, actor_cache = self.actor.forward(state, keep_cache=True)
+                probs = np.clip(probs, _PROB_CLIP, 1.0 - _PROB_CLIP)
+                child = (self._rng.random(self.n_components) < probs[0]).astype(int)
+                for index, location in self.pinned.items():
+                    child[index] = location
+                reward = float(reward_fn([int(v) for v in child], parent_a, parent_b))
+                batch_rewards.append(reward)
+                if reward > 0:
+                    feasible += 1
+
+                value, critic_cache = self.critic.forward(state, keep_cache=True)
+                advantage = reward - float(value[0, 0])
+
+                # Policy gradient: minimize -advantage * log π(child | state).
+                dlogpi_dp = child / probs[0] - (1 - child) / (1 - probs[0])
+                actor_grad_out = (-advantage * dlogpi_dp / batch_size)[None, :]
+                grads_a = self.actor.backward(actor_cache, actor_grad_out)
+                # Critic: minimize (value - reward)^2.
+                critic_grad_out = np.array([[2.0 * (float(value[0, 0]) - reward) / batch_size]])
+                grads_c = self.critic.backward(critic_cache, critic_grad_out)
+
+                actor_grads = self._accumulate(actor_grads, grads_a)
+                critic_grads = self._accumulate(critic_grads, grads_c)
+
+            self.actor.apply_gradients(actor_grads, self._actor_opt)
+            self.critic.apply_gradients(critic_grads, self._critic_opt)
+            self.history.mean_rewards.append(float(np.mean(batch_rewards)))
+            self.history.feasible_fractions.append(feasible / batch_size)
+        return self.history
+
+    @staticmethod
+    def _accumulate(
+        total: Optional[List[Tuple[np.ndarray, np.ndarray]]],
+        grads: List[Tuple[np.ndarray, np.ndarray]],
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        if total is None:
+            return [(gw.copy(), gb.copy()) for gw, gb in grads]
+        return [(tw + gw, tb + gb) for (tw, tb), (gw, gb) in zip(total, grads)]

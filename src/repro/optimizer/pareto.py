@@ -1,0 +1,136 @@
+"""Pareto-optimality utilities: dominance, fronts, non-dominated sorting, crowding.
+
+These are the building blocks shared by the Atlas DRL-based genetic algorithm, the
+NSGA-II variant used in the ablation of Figure 21 and the affinity-based GA baseline.
+All objectives are minimized.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "dominates",
+    "pareto_front",
+    "non_dominated_sort",
+    "crowding_distance",
+    "hypervolume_2d",
+]
+
+T = TypeVar("T")
+Objectives = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether objective vector ``a`` Pareto-dominates ``b`` (all <=, at least one <)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have the same length")
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(items: Sequence[T], key: Callable[[T], Sequence[float]]) -> List[T]:
+    """The non-dominated subset of ``items`` under the objective extractor ``key``."""
+    objectives = [tuple(key(item)) for item in items]
+    front: List[T] = []
+    for i, item in enumerate(items):
+        dominated = False
+        for j, other in enumerate(objectives):
+            if i != j and dominates(other, objectives[i]):
+                dominated = True
+                break
+            # Deduplicate identical objective vectors, keeping the first occurrence.
+            if j < i and other == objectives[i]:
+                dominated = True
+                break
+        if not dominated:
+            front.append(item)
+    return front
+
+
+def non_dominated_sort(objectives: Sequence[Sequence[float]]) -> List[List[int]]:
+    """NSGA-II fast non-dominated sort: indices grouped into fronts (front 0 is best)."""
+    n = len(objectives)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: List[List[int]] = [[]]
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if dominates(objectives[i], objectives[j]):
+                dominated_by[i].append(j)
+            elif dominates(objectives[j], objectives[i]):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        next_front: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    return [front for front in fronts if front]
+
+
+def crowding_distance(objectives: Sequence[Sequence[float]]) -> List[float]:
+    """NSGA-II crowding distance of each solution within one front."""
+    n = len(objectives)
+    if n == 0:
+        return []
+    if n <= 2:
+        return [float("inf")] * n
+    m = len(objectives[0])
+    distance = [0.0] * n
+    arr = np.asarray(objectives, dtype=float)
+    for k in range(m):
+        order = np.argsort(arr[:, k], kind="stable")
+        lo, hi = arr[order[0], k], arr[order[-1], k]
+        distance[order[0]] = float("inf")
+        distance[order[-1]] = float("inf")
+        span = hi - lo
+        if span <= 0:
+            continue
+        for idx in range(1, n - 1):
+            i = order[idx]
+            if distance[i] == float("inf"):
+                continue
+            distance[i] += (arr[order[idx + 1], k] - arr[order[idx - 1], k]) / span
+    return distance
+
+
+def hypervolume_2d(
+    front: Sequence[Sequence[float]], reference: Sequence[float]
+) -> float:
+    """Hypervolume (area) dominated by a 2-objective front w.r.t. a reference point.
+
+    Used by tests and ablations to compare the quality of Pareto fronts; both objectives
+    are minimized and points beyond the reference contribute nothing.
+    """
+    if len(reference) != 2:
+        raise ValueError("hypervolume_2d needs a 2-dimensional reference point")
+    points = [
+        (float(x), float(y))
+        for x, y in front
+        if x <= reference[0] and y <= reference[1]
+    ]
+    if not points:
+        return 0.0
+    points.sort()
+    volume = 0.0
+    prev_x = None
+    best_y = reference[1]
+    # Sweep in increasing x; each point contributes a rectangle up to the reference.
+    filtered: List[Tuple[float, float]] = []
+    for x, y in points:
+        if not filtered or y < filtered[-1][1]:
+            filtered.append((x, y))
+    for i, (x, y) in enumerate(filtered):
+        next_x = filtered[i + 1][0] if i + 1 < len(filtered) else reference[0]
+        volume += (next_x - x) * (reference[1] - y)
+    return max(volume, 0.0)

@@ -1,0 +1,21 @@
+"""Migration quality modeling: performance (delay injection), availability, cost."""
+
+from .availability import ApiAvailabilityModel, AvailabilityEstimate
+from .cost import CloudCostModel, CostEstimate, PricingCatalog
+from .evaluator import PlanQuality, QualityEvaluator
+from .performance import ApiPerformanceModel, DelayInjector, PerformanceEstimate
+from .preferences import MigrationPreferences
+
+__all__ = [
+    "DelayInjector",
+    "ApiPerformanceModel",
+    "PerformanceEstimate",
+    "ApiAvailabilityModel",
+    "AvailabilityEstimate",
+    "PricingCatalog",
+    "CostEstimate",
+    "CloudCostModel",
+    "MigrationPreferences",
+    "PlanQuality",
+    "QualityEvaluator",
+]

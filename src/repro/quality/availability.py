@@ -1,0 +1,84 @@
+"""API availability modeling (Section 4.1.2, Eq. 3).
+
+Offloading a stateless component is near-disruption-free (rolling update), but a
+stateful component must transfer its data to the new location, taking the APIs that
+depend on it offline for the duration of the transfer (and losing warm caches).  The
+availability quality of a plan is therefore the (weighted) number of APIs that use at
+least one stateful component whose location changes.
+
+Note on Eq. 3: the equation's quantifier reads "∀c ∈ SC(A)", but the surrounding text
+and the evaluation ("the number of APIs that will be unavailable during the migration
+process") make clear that an API is disrupted as soon as *any* of its stateful
+components moves; we implement that interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from ..cluster.placement import MigrationPlan
+
+__all__ = ["ApiAvailabilityModel", "AvailabilityEstimate"]
+
+
+@dataclass(frozen=True)
+class AvailabilityEstimate:
+    """Disruption preview of one plan."""
+
+    disrupted_apis: List[str]
+    weighted_disruption: float
+
+    @property
+    def disrupted_count(self) -> int:
+        return len(self.disrupted_apis)
+
+
+class ApiAvailabilityModel:
+    """Computes QAvai from per-API stateful component sets learned from traces."""
+
+    def __init__(
+        self,
+        stateful_components_by_api: Mapping[str, Sequence[str]],
+        baseline_plan: MigrationPlan,
+    ) -> None:
+        self._stateful: Dict[str, Set[str]] = {
+            api: set(components) for api, components in stateful_components_by_api.items()
+        }
+        self.baseline_plan = baseline_plan
+
+    @property
+    def apis(self) -> List[str]:
+        return sorted(self._stateful)
+
+    def stateful_components_of(self, api: str) -> Set[str]:
+        """``SC(A)`` — the stateful components the API touches."""
+        return set(self._stateful.get(api, set()))
+
+    def api_disrupted(self, api: str, plan: MigrationPlan) -> bool:
+        """Whether migrating to ``plan`` disrupts the API (any stateful dependency moves)."""
+        for component in self._stateful.get(api, set()):
+            if plan[component] != self.baseline_plan[component]:
+                return True
+        return False
+
+    def disrupted_apis(self, plan: MigrationPlan) -> List[str]:
+        return [api for api in self.apis if self.api_disrupted(api, plan)]
+
+    def qavai(
+        self, plan: MigrationPlan, api_weights: Optional[Mapping[str, float]] = None
+    ) -> float:
+        """QAvai(p) = Σ_A τ_A · [A disrupted] — lower is better."""
+        total = 0.0
+        for api in self.apis:
+            if self.api_disrupted(api, plan):
+                total += api_weights.get(api, 1.0) if api_weights else 1.0
+        return total
+
+    def estimate(
+        self, plan: MigrationPlan, api_weights: Optional[Mapping[str, float]] = None
+    ) -> AvailabilityEstimate:
+        return AvailabilityEstimate(
+            disrupted_apis=self.disrupted_apis(plan),
+            weighted_disruption=self.qavai(plan, api_weights),
+        )

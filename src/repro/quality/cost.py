@@ -1,0 +1,190 @@
+"""Cloud hosting cost modeling (Section 4.1.3 and Appendix A).
+
+The cost of a migration plan has three parts:
+
+* **Compute** (Eq. 6-7): the cluster autoscaler allocates enough cloud nodes to host the
+  expected CPU/memory demand of the offloaded components with a headroom δ; each
+  allocated node is charged per hour.
+* **Storage** (Eq. 8-9): cloud volumes start at twice the migrated data size and grow by
+  the headroom factor whenever they fill up; provisioned GB are charged per month.
+* **Network traffic** (Eq. 10): traffic between components placed in different
+  datacenters is charged at the egress price; the expected volume is reconstructed from
+  the learned per-API network footprints and the expected API traffic.
+
+Prices default to the generalized catalog of Appendix A (m5.large-class node at
+$0.096/h, $0.08/GB-month storage, $0.09/GB egress) and can be overridden to match any
+provider's billing catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cluster.autoscaler import AutoscalerConfig, ClusterAutoscaler, StorageAutoscaler
+from ..cluster.placement import MigrationPlan
+from ..cluster.topology import CLOUD, NodeSpec, ON_PREM
+from ..learning.estimator import ResourceEstimate
+from ..learning.footprint import NetworkFootprint
+
+__all__ = ["PricingCatalog", "CostEstimate", "CloudCostModel"]
+
+_MS_PER_HOUR = 3_600_000.0
+_MS_PER_MONTH = 30.0 * 24.0 * _MS_PER_HOUR
+_BYTES_PER_GB = 1e9
+
+
+@dataclass(frozen=True)
+class PricingCatalog:
+    """Cloud pricing knobs (Appendix A defaults)."""
+
+    node_spec: NodeSpec = field(
+        default_factory=lambda: NodeSpec(
+            name="m5.large", cpu_millicores=2_000.0, memory_mb=8_192.0, hourly_price_usd=0.096
+        )
+    )
+    storage_usd_per_gb_month: float = 0.08
+    egress_usd_per_gb: float = 0.09
+    autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+
+    def __post_init__(self) -> None:
+        if self.storage_usd_per_gb_month < 0 or self.egress_usd_per_gb < 0:
+            raise ValueError("prices must be non-negative")
+
+
+@dataclass
+class CostEstimate:
+    """Cost breakdown of one plan over the period of interest."""
+
+    compute_usd: float
+    storage_usd: float
+    traffic_usd: float
+    period_ms: float
+    node_series: List[int] = field(default_factory=list)
+
+    @property
+    def total_usd(self) -> float:
+        return self.compute_usd + self.storage_usd + self.traffic_usd
+
+    def per_day_usd(self) -> float:
+        """Total cost normalized to a 24-hour day (how Figures 11-14 report cost)."""
+        if self.period_ms <= 0:
+            return 0.0
+        return self.total_usd * (24.0 * _MS_PER_HOUR / self.period_ms)
+
+    def breakdown_per_day(self) -> Dict[str, float]:
+        if self.period_ms <= 0:
+            return {"compute": 0.0, "storage": 0.0, "traffic": 0.0}
+        scale = 24.0 * _MS_PER_HOUR / self.period_ms
+        return {
+            "compute": self.compute_usd * scale,
+            "storage": self.storage_usd * scale,
+            "traffic": self.traffic_usd * scale,
+        }
+
+
+class CloudCostModel:
+    """Computes QCost for any plan from a resource estimate and learned footprints."""
+
+    def __init__(
+        self,
+        catalog: PricingCatalog,
+        estimate: ResourceEstimate,
+        footprint: NetworkFootprint,
+        storage_by_component: Mapping[str, float],
+        baseline_plan: MigrationPlan,
+        time_compression: float = 1.0,
+        charge_cloud_egress_only: bool = False,
+    ) -> None:
+        """``time_compression`` maps simulated time to real time (the workload generator
+        compresses one day into five minutes, i.e. a factor of 288): prices are charged
+        on real (uncompressed) time so a compressed day costs a full day's bill."""
+        if time_compression <= 0:
+            raise ValueError("time_compression must be positive")
+        self.catalog = catalog
+        self.estimate = estimate
+        self.footprint = footprint
+        self.storage_by_component = dict(storage_by_component)
+        self.baseline_plan = baseline_plan
+        self.time_compression = time_compression
+        self.charge_cloud_egress_only = charge_cloud_egress_only
+        self._cluster_autoscaler = ClusterAutoscaler(catalog.node_spec, catalog.autoscaler)
+        self._storage_autoscaler = StorageAutoscaler(catalog.autoscaler)
+
+    # -- individual terms -----------------------------------------------------------------
+    @property
+    def real_step_ms(self) -> float:
+        return self.estimate.step_ms * self.time_compression
+
+    def compute_cost(self, plan: MigrationPlan) -> Tuple[float, List[int]]:
+        """Eq. 7: per-step node counts priced at the node's hourly rate."""
+        cloud_components = plan.components_at(CLOUD)
+        cpu_series = self.estimate.aggregate_series("cpu_millicores", cloud_components)
+        mem_series = self.estimate.aggregate_series("memory_mb", cloud_components)
+        nodes = self._cluster_autoscaler.node_series(cpu_series, mem_series)
+        step_hours = self.real_step_ms / _MS_PER_HOUR
+        cost = sum(nodes) * self.catalog.node_spec.hourly_price_usd * step_hours
+        return cost, nodes
+
+    def storage_cost(self, plan: MigrationPlan) -> float:
+        """Eq. 9: provisioned capacity series priced per GB-month."""
+        moved_stateful = [
+            c
+            for c in plan.components_at(CLOUD)
+            if self.storage_by_component.get(c, 0.0) > 0.0
+            and plan[c] != self.baseline_plan[c]
+        ]
+        cloud_stateful = [
+            c for c in plan.components_at(CLOUD) if self.storage_by_component.get(c, 0.0) > 0.0
+        ]
+        if not cloud_stateful:
+            return 0.0
+        migrated_gb = sum(self.storage_by_component[c] for c in moved_stateful)
+        usage_series = self.estimate.aggregate_series("storage_gb", cloud_stateful)
+        if not usage_series:
+            usage_series = [sum(self.storage_by_component[c] for c in cloud_stateful)]
+        capacity = self._storage_autoscaler.capacity_series(usage_series, migrated_gb)
+        step_months = self.real_step_ms / _MS_PER_MONTH
+        return sum(capacity) * self.catalog.storage_usd_per_gb_month * step_months
+
+    def traffic_cost(self, plan: MigrationPlan) -> float:
+        """Eq. 10: cross-datacenter traffic priced at the egress rate."""
+        api_rates = self.estimate.api_rates
+        if not api_rates:
+            return 0.0
+        total_requests = {api: sum(series) for api, series in api_rates.items()}
+        total_bytes = 0.0
+        for api, count in total_requests.items():
+            if count <= 0:
+                continue
+            for (src, dst), edge in self.footprint.edges_of(api).items():
+                if plan[src] == plan[dst]:
+                    continue
+                if self.charge_cloud_egress_only:
+                    # Request bytes leave the cloud only if the caller is in the cloud;
+                    # response bytes leave the cloud only if the callee is in the cloud.
+                    bytes_per_request = 0.0
+                    if plan[src] == CLOUD:
+                        bytes_per_request += edge.request_bytes
+                    if plan[dst] == CLOUD:
+                        bytes_per_request += edge.response_bytes
+                else:
+                    bytes_per_request = edge.total_bytes
+                total_bytes += count * bytes_per_request
+        return total_bytes / _BYTES_PER_GB * self.catalog.egress_usd_per_gb
+
+    # -- combined --------------------------------------------------------------------------
+    def qcost(self, plan: MigrationPlan) -> float:
+        """Total cost in USD over the period of interest (Eq. 11)."""
+        return self.estimate_cost(plan).total_usd
+
+    def estimate_cost(self, plan: MigrationPlan) -> CostEstimate:
+        compute, nodes = self.compute_cost(plan)
+        period_ms = self.estimate.steps * self.real_step_ms
+        return CostEstimate(
+            compute_usd=compute,
+            storage_usd=self.storage_cost(plan),
+            traffic_usd=self.traffic_cost(plan),
+            period_ms=period_ms,
+            node_series=nodes,
+        )

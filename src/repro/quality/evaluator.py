@@ -1,0 +1,136 @@
+"""Plan quality evaluation: the objective vector and feasibility check of Eq. 4.
+
+:class:`QualityEvaluator` bundles the three quality models (performance, availability,
+cost), the owner's preferences and the resource estimate into a single object that the
+optimizers query: ``evaluate(plan)`` returns a :class:`PlanQuality` with the objective
+values, feasibility and the list of violated constraints.  Evaluations are cached by
+plan, which matters because genetic search revisits plans frequently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cluster.placement import MigrationPlan
+from ..cluster.topology import ON_PREM
+from ..learning.estimator import ResourceEstimate
+from .availability import ApiAvailabilityModel
+from .cost import CloudCostModel
+from .performance import ApiPerformanceModel
+from .preferences import MigrationPreferences
+
+__all__ = ["PlanQuality", "QualityEvaluator"]
+
+#: Resources checked against the on-prem limits (metric name -> estimator resource key).
+_ONPREM_RESOURCES = {
+    "cpu_millicores": "cpu_millicores",
+    "memory_mb": "memory_mb",
+    "storage_gb": "storage_gb",
+}
+
+
+@dataclass(frozen=True)
+class PlanQuality:
+    """Quality of one migration plan."""
+
+    plan: MigrationPlan
+    perf: float
+    avail: float
+    cost: float
+    feasible: bool
+    violations: Tuple[str, ...] = ()
+
+    def objectives(self) -> Tuple[float, float, float]:
+        """(QPerf, QAvai, QCost) — all minimized."""
+        return (self.perf, self.avail, self.cost)
+
+    def dominates(self, other: "PlanQuality") -> bool:
+        """Pareto dominance on the objective vector (feasibility handled upstream)."""
+        mine, theirs = self.objectives(), other.objectives()
+        return all(a <= b for a, b in zip(mine, theirs)) and any(
+            a < b for a, b in zip(mine, theirs)
+        )
+
+
+class QualityEvaluator:
+    """Evaluates plans against the three objectives and the constraints of Eq. 4."""
+
+    def __init__(
+        self,
+        performance: ApiPerformanceModel,
+        availability: ApiAvailabilityModel,
+        cost: CloudCostModel,
+        preferences: MigrationPreferences,
+        estimate: ResourceEstimate,
+        component_order: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.performance = performance
+        self.availability = availability
+        self.cost = cost
+        self.preferences = preferences
+        self.estimate = estimate
+        self._weights = preferences.api_weights(performance.apis)
+        self._component_order = list(component_order) if component_order else None
+        self._cache: Dict[Tuple[int, ...], PlanQuality] = {}
+        self.evaluations = 0
+
+    # -- evaluation ------------------------------------------------------------------------
+    def evaluate(self, plan: MigrationPlan) -> PlanQuality:
+        key = tuple(plan.to_vector())
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.evaluations += 1
+        violations = self.constraint_violations(plan)
+        quality = PlanQuality(
+            plan=plan,
+            perf=self.performance.qperf(plan, self._weights),
+            avail=self.availability.qavai(plan, self._weights),
+            cost=self.cost.qcost(plan),
+            feasible=not violations,
+            violations=tuple(violations),
+        )
+        self._cache[key] = quality
+        return quality
+
+    def evaluate_many(self, plans: Sequence[MigrationPlan]) -> List[PlanQuality]:
+        return [self.evaluate(plan) for plan in plans]
+
+    def is_feasible(self, plan: MigrationPlan) -> bool:
+        return not self.constraint_violations(plan)
+
+    # -- constraints -----------------------------------------------------------------------
+    def constraint_violations(self, plan: MigrationPlan) -> List[str]:
+        """Human-readable descriptions of every violated constraint of Eq. 4."""
+        violations: List[str] = []
+        for component in self.preferences.pin_violations(plan):
+            violations.append(
+                f"component {component} must stay at location "
+                f"{self.preferences.pinned_placement[component]}"
+            )
+        onprem_components = plan.components_at(ON_PREM)
+        for resource, estimator_key in _ONPREM_RESOURCES.items():
+            limit = self.preferences.onprem_limit(resource)
+            if limit is None:
+                continue
+            peak = self.estimate.peak(estimator_key, onprem_components)
+            if peak > limit:
+                violations.append(
+                    f"on-prem {resource} peak {peak:.0f} exceeds limit {limit:.0f}"
+                )
+        if self.preferences.budget_usd != float("inf"):
+            cost = self.cost.qcost(plan)
+            if cost > self.preferences.budget_usd:
+                violations.append(
+                    f"cost {cost:.2f} USD exceeds budget {self.preferences.budget_usd:.2f} USD"
+                )
+        return violations
+
+    # -- convenience -----------------------------------------------------------------------
+    @property
+    def api_weights(self) -> Dict[str, float]:
+        return dict(self._weights)
+
+    def cache_size(self) -> int:
+        return len(self._cache)

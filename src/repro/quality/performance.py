@@ -1,0 +1,241 @@
+"""API performance modeling via delay injection (Section 4.1.1, Figure 6).
+
+Given a migration plan, Atlas previews each API's end-to-end latency without executing
+the plan: it takes traces recorded under the current placement and *injects* the extra
+network delay every invocation edge would experience if its caller and callee ended up
+in different datacenters.  The injected delay Δ (Eq. 2) combines the change in link
+latency and the change in serialization time of the edge's learned network footprint.
+
+The cascade rules follow the paper:
+
+* a delayed child shifts its own start; its execution duration is preserved;
+* siblings running in parallel with it are unaffected; the next sequential operation
+  starts after the (possibly delayed) completion of all foreground predecessors, keeping
+  its original trigger gap;
+* background operations inherit the shift of their trigger point but never extend the
+  root span, so delaying them does not change the API latency.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cluster.network import NetworkModel
+from ..cluster.placement import MigrationPlan
+from ..learning.api_profile import classify_background, classify_sibling
+from ..learning.footprint import NetworkFootprint
+from ..apps.model import ExecutionMode
+from ..telemetry.tracing import Span, Trace
+
+__all__ = ["DelayInjector", "ApiPerformanceModel", "PerformanceEstimate"]
+
+
+class DelayInjector:
+    """Applies per-edge delays to one trace and recomputes all span timings."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+
+    def inject(self, edge_delays: Mapping[Tuple[str, str], float]) -> Trace:
+        """Return a new trace with ``edge_delays`` (caller, callee) -> Δ ms applied."""
+        root = self.trace.root
+        new_spans: List[Span] = []
+        self._adjust(root, root.start_ms, edge_delays, new_spans)
+        return self.trace.with_spans(new_spans)
+
+    def injected_latency_ms(self, edge_delays: Mapping[Tuple[str, str], float]) -> float:
+        """End-to-end latency after injection (root span duration of the new trace)."""
+        return self.inject(edge_delays).latency_ms
+
+    # -- internals -----------------------------------------------------------------------
+    def _adjust(
+        self,
+        span: Span,
+        new_start: float,
+        edge_delays: Mapping[Tuple[str, str], float],
+        out: List[Span],
+    ) -> float:
+        """Recompute ``span`` starting at ``new_start``; returns its new end time."""
+        children = self.trace.children(span.span_id)
+        if not children:
+            out.append(span.shifted(new_start))
+            return new_start + span.duration_ms
+
+        # Foreground children processed so far: (orig_end, new_end, span).
+        foreground: List[Tuple[float, float, Span]] = []
+        last_fg_orig_end = span.start_ms
+        last_fg_new_end = new_start
+
+        for child in children:
+            background = classify_background(child, span)
+            # Reference point: the latest original end among previously processed
+            # foreground children that do NOT run in parallel with this child, or the
+            # parent start when there is none.
+            ref_orig = span.start_ms
+            ref_new = new_start
+            for orig_end, new_end, prev in foreground:
+                if classify_sibling(prev, child) is ExecutionMode.PARALLEL:
+                    continue
+                if orig_end > ref_orig:
+                    ref_orig, ref_new = orig_end, new_end
+            gap = child.start_ms - ref_orig
+            delta = edge_delays.get((span.component, child.component), 0.0)
+            child_new_start = ref_new + gap + max(delta, 0.0)
+            child_new_end = self._adjust(child, child_new_start, edge_delays, out)
+            if not background:
+                foreground.append((child.end_ms, child_new_end, child))
+                if child.end_ms > last_fg_orig_end:
+                    last_fg_orig_end = child.end_ms
+                    last_fg_new_end = child_new_end
+
+        if foreground:
+            # Latest foreground completion, original and new, defines the tail reference.
+            tail_ref_orig = max(orig_end for orig_end, _new, _s in foreground)
+            tail_ref_new = max(new_end for _orig, new_end, _s in foreground)
+        else:
+            tail_ref_orig, tail_ref_new = span.start_ms, new_start
+        tail_gap = span.end_ms - tail_ref_orig
+        new_end = tail_ref_new + max(tail_gap, 0.0)
+        out.append(span.shifted(new_start, duration_ms=new_end - new_start))
+        return new_end
+
+
+@dataclass
+class PerformanceEstimate:
+    """Latency preview of one API under one plan."""
+
+    api: str
+    baseline_mean_ms: float
+    estimated_mean_ms: float
+    estimated_latencies_ms: List[float]
+
+    @property
+    def impact_factor(self) -> float:
+        """``Lat(A; p) / Lat(A)`` — how many times slower the API becomes."""
+        if self.baseline_mean_ms <= 0:
+            return 1.0
+        return self.estimated_mean_ms / self.baseline_mean_ms
+
+
+class ApiPerformanceModel:
+    """Estimates per-API latency and the QPerf objective for any migration plan."""
+
+    def __init__(
+        self,
+        traces_by_api: Mapping[str, Sequence[Trace]],
+        footprint: NetworkFootprint,
+        network: NetworkModel,
+        baseline_plan: MigrationPlan,
+        traces_per_api: int = 50,
+    ) -> None:
+        if traces_per_api <= 0:
+            raise ValueError("traces_per_api must be positive")
+        self.footprint = footprint
+        self.network = network
+        self.baseline_plan = baseline_plan
+        self._traces: Dict[str, List[Trace]] = {
+            api: list(traces)[-traces_per_api:]
+            for api, traces in traces_by_api.items()
+            if traces
+        }
+        if not self._traces:
+            raise ValueError("performance model needs at least one trace")
+        self._baseline_mean: Dict[str, float] = {
+            api: float(statistics.fmean(t.latency_ms for t in traces))
+            for api, traces in self._traces.items()
+        }
+        # Invocation edges per API (unioned over sample traces).
+        self._edges: Dict[str, List[Tuple[str, str]]] = {}
+        for api, traces in self._traces.items():
+            edges = set()
+            for trace in traces:
+                edges.update(trace.invocation_edges())
+            self._edges[api] = sorted(edges)
+        # Cache: (api, canonical delay key) -> list of injected latencies.
+        self._cache: Dict[Tuple[str, Tuple[Tuple[Tuple[str, str], float], ...]], List[float]] = {}
+
+    # -- public API ------------------------------------------------------------------------
+    @property
+    def apis(self) -> List[str]:
+        return sorted(self._traces)
+
+    def baseline_latency_ms(self, api: str) -> float:
+        return self._baseline_mean[api]
+
+    def invocation_edges(self) -> List[Tuple[str, str]]:
+        """Union of (caller, callee) invocation edges over all profiled APIs."""
+        edges = set()
+        for api_edges in self._edges.values():
+            edges.update(api_edges)
+        return sorted(edges)
+
+    def api_components(self) -> Dict[str, List[str]]:
+        """Components appearing in each API's traces (callers and callees)."""
+        result: Dict[str, List[str]] = {}
+        for api, edges in self._edges.items():
+            members = set()
+            for caller, callee in edges:
+                members.add(caller)
+                members.add(callee)
+            result[api] = sorted(members)
+        return result
+
+    def edge_delays(self, api: str, plan: MigrationPlan) -> Dict[Tuple[str, str], float]:
+        """Δ per invocation edge of one API under ``plan`` (Eq. 2)."""
+        delays: Dict[Tuple[str, str], float] = {}
+        for caller, callee in self._edges.get(api, []):
+            before = (self.baseline_plan[caller], self.baseline_plan[callee])
+            after = (plan[caller], plan[callee])
+            if before == after:
+                continue
+            req = self.footprint.request_bytes(api, caller, callee)
+            resp = self.footprint.response_bytes(api, caller, callee)
+            delta = self.network.extra_delay_ms(before, after, req, resp)
+            if delta > 0.0:
+                delays[(caller, callee)] = delta
+        return delays
+
+    def estimate_latencies(self, api: str, plan: MigrationPlan) -> List[float]:
+        """Injected latency of every sample trace of one API under ``plan``."""
+        if api not in self._traces:
+            raise KeyError(f"no traces available for API {api!r}")
+        delays = self.edge_delays(api, plan)
+        key = (api, tuple(sorted((edge, round(d, 4)) for edge, d in delays.items())))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return list(cached)
+        latencies = [
+            DelayInjector(trace).injected_latency_ms(delays) for trace in self._traces[api]
+        ]
+        self._cache[key] = latencies
+        return list(latencies)
+
+    def estimate(self, api: str, plan: MigrationPlan) -> PerformanceEstimate:
+        latencies = self.estimate_latencies(api, plan)
+        return PerformanceEstimate(
+            api=api,
+            baseline_mean_ms=self._baseline_mean[api],
+            estimated_mean_ms=float(statistics.fmean(latencies)),
+            estimated_latencies_ms=latencies,
+        )
+
+    def estimate_all(self, plan: MigrationPlan) -> Dict[str, PerformanceEstimate]:
+        return {api: self.estimate(api, plan) for api in self.apis}
+
+    def qperf(
+        self, plan: MigrationPlan, api_weights: Optional[Mapping[str, float]] = None
+    ) -> float:
+        """QPerf(p) = (1/|A|) Σ_A τ_A Lat(A;p)/Lat(A) — lower is better (≥ ~1)."""
+        apis = self.apis
+        total = 0.0
+        for api in apis:
+            weight = api_weights.get(api, 1.0) if api_weights else 1.0
+            estimate = self.estimate(api, plan)
+            total += weight * estimate.impact_factor
+        return total / len(apis)
+
+    def impact_factors(self, plan: MigrationPlan) -> Dict[str, float]:
+        """Per-API slowdown factors (used by Figures 11, 12 and 16)."""
+        return {api: self.estimate(api, plan).impact_factor for api in self.apis}

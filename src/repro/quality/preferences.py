@@ -1,0 +1,82 @@
+"""Migration preferences supplied by the application owner (Section 3 and Eq. 4).
+
+Preferences personalize recommendations: which APIs are business-critical (weighted 2x
+by default), which components are pinned to a location (regulatory compliance), the
+maximum resource usage allowed to remain on-prem, and the cloud budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..cluster.placement import MigrationPlan
+from ..cluster.topology import ON_PREM
+
+__all__ = ["MigrationPreferences"]
+
+#: Default multiplier applied to APIs the owner marks as critical (Section 4.1.1).
+DEFAULT_CRITICAL_WEIGHT = 2.0
+
+
+@dataclass
+class MigrationPreferences:
+    """Owner-provided knobs constraining and weighting the recommendation."""
+
+    critical_apis: List[str] = field(default_factory=list)
+    critical_weight: float = DEFAULT_CRITICAL_WEIGHT
+    pinned_placement: Dict[str, int] = field(default_factory=dict)
+    onprem_limits: Dict[str, float] = field(default_factory=dict)
+    budget_usd: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.critical_weight <= 0:
+            raise ValueError("critical_weight must be positive")
+        if self.budget_usd < 0:
+            raise ValueError("budget must be non-negative")
+        for resource, limit in self.onprem_limits.items():
+            if limit < 0:
+                raise ValueError(f"on-prem limit for {resource!r} must be non-negative")
+
+    # -- API weighting ------------------------------------------------------------------
+    def api_weight(self, api: str) -> float:
+        """τ_A: the weight of one API in QPerf and QAvai."""
+        return self.critical_weight if api in self.critical_apis else 1.0
+
+    def api_weights(self, apis: Sequence[str]) -> Dict[str, float]:
+        return {api: self.api_weight(api) for api in apis}
+
+    # -- constraints ------------------------------------------------------------------------
+    def pins_respected(self, plan: MigrationPlan) -> bool:
+        """First constraint of Eq. 4: pinned components stay where the owner put them."""
+        return all(plan[c] == loc for c, loc in self.pinned_placement.items())
+
+    def pin_violations(self, plan: MigrationPlan) -> List[str]:
+        return [c for c, loc in self.pinned_placement.items() if plan[c] != loc]
+
+    def onprem_limit(self, resource: str) -> Optional[float]:
+        return self.onprem_limits.get(resource)
+
+    def with_critical_apis(self, apis: Sequence[str]) -> "MigrationPreferences":
+        """A copy with a different critical-API set (used by the Figure 16 experiment)."""
+        return MigrationPreferences(
+            critical_apis=list(apis),
+            critical_weight=self.critical_weight,
+            pinned_placement=dict(self.pinned_placement),
+            onprem_limits=dict(self.onprem_limits),
+            budget_usd=self.budget_usd,
+        )
+
+    def with_budget(self, budget_usd: float) -> "MigrationPreferences":
+        return MigrationPreferences(
+            critical_apis=list(self.critical_apis),
+            critical_weight=self.critical_weight,
+            pinned_placement=dict(self.pinned_placement),
+            onprem_limits=dict(self.onprem_limits),
+            budget_usd=budget_usd,
+        )
+
+    @classmethod
+    def pin_on_prem(cls, components: Sequence[str], **kwargs) -> "MigrationPreferences":
+        """Convenience constructor pinning the given components to the on-prem site."""
+        return cls(pinned_placement={c: ON_PREM for c in components}, **kwargs)

@@ -1,0 +1,13 @@
+"""Advisor facade and plan-selection helpers."""
+
+from .advisor import ApplicationKnowledge, Atlas, AtlasConfig, Recommendation
+from .hierarchy import PlanCluster, PlanHierarchy
+
+__all__ = [
+    "Atlas",
+    "AtlasConfig",
+    "ApplicationKnowledge",
+    "Recommendation",
+    "PlanCluster",
+    "PlanHierarchy",
+]

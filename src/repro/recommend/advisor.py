@@ -1,0 +1,311 @@
+"""The Atlas advisor facade: application learning → recommendation → monitoring.
+
+:class:`Atlas` wires the whole pipeline of Figure 5 together behind a small API:
+
+>>> atlas = Atlas(application, preferences)
+>>> knowledge = atlas.learn(telemetry)                   # stage 1: application learning
+>>> recommendation = atlas.recommend(expected_scale=5.0) # stage 2: plan recommendation
+>>> plan = recommendation.performance_optimized().plan
+>>> detector = atlas.drift_detector(recommendation, plan, measured_latencies)
+>>> detector.drifted_apis(recent_latencies)              # stage 3: monitoring
+
+Everything Atlas consumes comes from the :class:`~repro.telemetry.server.TelemetryServer`
+(traces, component metrics, mesh counters) plus the owner's
+:class:`~repro.quality.preferences.MigrationPreferences`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..apps.model import Application
+from ..cluster.network import NetworkModel, default_network_model
+from ..cluster.placement import MigrationPlan
+from ..learning.api_profile import ApiProfile, ApiProfiler
+from ..learning.component_profile import ComponentProfile, ComponentProfiler
+from ..learning.estimator import ResourceEstimate, ResourceEstimator
+from ..learning.footprint import FootprintLearner, NetworkFootprint
+from ..monitoring.drift import DriftDetector
+from ..monitoring.security import BreachDetector
+from ..optimizer.atlas_ga import AtlasGA, GAConfig, SearchResult
+from ..optimizer.baselines import BaselineContext
+from ..quality.availability import ApiAvailabilityModel
+from ..quality.cost import CloudCostModel, PricingCatalog
+from ..quality.evaluator import PlanQuality, QualityEvaluator
+from ..quality.performance import ApiPerformanceModel, PerformanceEstimate
+from ..quality.preferences import MigrationPreferences
+from ..telemetry.server import TelemetryServer
+from .hierarchy import PlanHierarchy
+
+__all__ = ["AtlasConfig", "ApplicationKnowledge", "Recommendation", "Atlas"]
+
+
+@dataclass
+class AtlasConfig:
+    """Tunables of the advisor (paper defaults unless noted)."""
+
+    traces_per_api: int = 30
+    pricing: PricingCatalog = field(default_factory=PricingCatalog)
+    #: Simulated-time to real-time factor: the workload generator compresses one day
+    #: into five minutes (factor 288), so costs are billed on uncompressed time.
+    time_compression: float = 288.0
+    ga: GAConfig = field(default_factory=GAConfig)
+    drift_threshold_factor: float = 5.0
+    breach_ratio_threshold: float = 2.0
+
+
+@dataclass
+class ApplicationKnowledge:
+    """Everything learned during the application-learning stage."""
+
+    api_profiles: Dict[str, ApiProfile]
+    component_profiles: Dict[str, ComponentProfile]
+    footprint: NetworkFootprint
+    estimator: ResourceEstimator
+
+    @property
+    def apis(self) -> List[str]:
+        return sorted(self.api_profiles)
+
+    def stateful_components_by_api(self) -> Dict[str, List[str]]:
+        return {api: list(p.stateful_components) for api, p in self.api_profiles.items()}
+
+
+@dataclass
+class Recommendation:
+    """Output of one recommendation round."""
+
+    result: SearchResult
+    evaluator: QualityEvaluator
+    estimate: ResourceEstimate
+    preferences: MigrationPreferences
+
+    @property
+    def plans(self) -> List[PlanQuality]:
+        return list(self.result.pareto)
+
+    def performance_optimized(self) -> PlanQuality:
+        return self.result.performance_optimized()
+
+    def availability_optimized(self) -> PlanQuality:
+        return self.result.availability_optimized()
+
+    def cost_optimized(self) -> PlanQuality:
+        return self.result.cost_optimized()
+
+    def hierarchy(self) -> PlanHierarchy:
+        """Dendrogram view of the recommended plans (Figure 8)."""
+        return PlanHierarchy(self.plans)
+
+    def latency_preview(self, plan: MigrationPlan) -> Dict[str, PerformanceEstimate]:
+        """Per-API latency preview for one plan (what the owner inspects before executing)."""
+        return self.evaluator.performance.estimate_all(plan)
+
+
+class Atlas:
+    """Hybrid cloud migration advisor for interactive microservices."""
+
+    def __init__(
+        self,
+        application: Application,
+        preferences: Optional[MigrationPreferences] = None,
+        network: Optional[NetworkModel] = None,
+        config: Optional[AtlasConfig] = None,
+        current_plan: Optional[MigrationPlan] = None,
+    ) -> None:
+        self.application = application
+        self.preferences = preferences or MigrationPreferences()
+        self.network = network or default_network_model()
+        self.config = config or AtlasConfig()
+        self.current_plan = current_plan or MigrationPlan.all_on_prem(
+            application.component_names
+        )
+        self.telemetry: Optional[TelemetryServer] = None
+        self.knowledge: Optional[ApplicationKnowledge] = None
+
+    # -- stage 1: application learning ------------------------------------------------------
+    def learn(self, telemetry: TelemetryServer) -> ApplicationKnowledge:
+        """Learn API profiles, component profiles, footprints and the resource model."""
+        self.telemetry = telemetry
+        profiler = ApiProfiler(
+            telemetry,
+            stateful_components=self.application.stateful_components(),
+            traces_per_api=self.config.traces_per_api,
+        )
+        api_profiles = profiler.profile_all()
+        component_profiles = ComponentProfiler(telemetry, self.application).profile_all()
+        footprint = FootprintLearner(telemetry).learn()
+        estimator = ResourceEstimator(self.application, telemetry).fit()
+        self.knowledge = ApplicationKnowledge(
+            api_profiles=api_profiles,
+            component_profiles=component_profiles,
+            footprint=footprint,
+            estimator=estimator,
+        )
+        return self.knowledge
+
+    # -- quality model assembly -----------------------------------------------------------------
+    def build_evaluator(
+        self,
+        expected_scale: float = 1.0,
+        api_rates: Optional[Mapping[str, Sequence[float]]] = None,
+        preferences: Optional[MigrationPreferences] = None,
+    ) -> QualityEvaluator:
+        """Build the quality evaluator for a period of interest.
+
+        ``expected_scale`` scales the observed traffic (the paper's 5x burst); passing
+        explicit ``api_rates`` overrides it with any expected traffic forecast.
+        """
+        knowledge = self._require_knowledge()
+        preferences = preferences or self.preferences
+        estimator = knowledge.estimator
+        estimate = (
+            estimator.predict(api_rates)
+            if api_rates is not None
+            else estimator.predict_scaled(expected_scale)
+        )
+        traces_by_api = {
+            api: profile.sample_traces for api, profile in knowledge.api_profiles.items()
+        }
+        performance = ApiPerformanceModel(
+            traces_by_api=traces_by_api,
+            footprint=knowledge.footprint,
+            network=self.network,
+            baseline_plan=self.current_plan,
+            traces_per_api=self.config.traces_per_api,
+        )
+        availability = ApiAvailabilityModel(
+            stateful_components_by_api=knowledge.stateful_components_by_api(),
+            baseline_plan=self.current_plan,
+        )
+        storage_by_component = {
+            comp.name: comp.resources.storage_gb for comp in self.application.components
+        }
+        cost = CloudCostModel(
+            catalog=self.config.pricing,
+            estimate=estimate,
+            footprint=knowledge.footprint,
+            storage_by_component=storage_by_component,
+            baseline_plan=self.current_plan,
+            time_compression=self.config.time_compression,
+        )
+        return QualityEvaluator(
+            performance=performance,
+            availability=availability,
+            cost=cost,
+            preferences=preferences,
+            estimate=estimate,
+            component_order=self.application.component_names,
+        )
+
+    # -- stage 2: recommendation --------------------------------------------------------------
+    def recommend(
+        self,
+        expected_scale: float = 1.0,
+        api_rates: Optional[Mapping[str, Sequence[float]]] = None,
+        preferences: Optional[MigrationPreferences] = None,
+        ga_config: Optional[GAConfig] = None,
+    ) -> Recommendation:
+        """Run the DRL-based genetic search and return the Pareto-optimal plans."""
+        preferences = preferences or self.preferences
+        evaluator = self.build_evaluator(
+            expected_scale=expected_scale, api_rates=api_rates, preferences=preferences
+        )
+        config = ga_config or self.config.ga
+        ga = AtlasGA(
+            evaluator,
+            self.application.component_names,
+            config=config,
+            seed_vectors=self._seed_vectors(evaluator, config),
+        )
+        result = ga.run()
+        return Recommendation(
+            result=result,
+            evaluator=evaluator,
+            estimate=evaluator.estimate,
+            preferences=preferences,
+        )
+
+    def _seed_vectors(self, evaluator: QualityEvaluator, config: GAConfig):
+        """Affinity-guided population seeds derived from Atlas's own learned footprints."""
+        import numpy as np
+
+        from ..optimizer.atlas_ga import affinity_seed_vectors
+
+        knowledge = self._require_knowledge()
+        total_requests = {
+            api: sum(series) for api, series in evaluator.estimate.api_rates.items()
+        }
+        pair_traffic = knowledge.footprint.expected_pair_traffic(total_requests)
+        return affinity_seed_vectors(
+            components=self.application.component_names,
+            pinned=evaluator.preferences.pinned_placement,
+            pair_traffic=pair_traffic,
+            is_feasible=evaluator.is_feasible,
+            rng=np.random.default_rng(config.seed + 101),
+            count=4,
+        )
+
+    # -- baselines support ------------------------------------------------------------------------
+    def baseline_context(self, evaluator: QualityEvaluator) -> BaselineContext:
+        """Context object feeding the comparison baselines with the same learned data."""
+        knowledge = self._require_knowledge()
+        telemetry = self._require_telemetry()
+        message_matrix: Dict[tuple, float] = {}
+        for api, profile in knowledge.api_profiles.items():
+            for pair, per_request in profile.invocations_per_request.items():
+                message_matrix[pair] = message_matrix.get(pair, 0.0) + per_request * profile.request_count
+        busyness = {
+            name: profile.mean_cpu_millicores
+            for name, profile in knowledge.component_profiles.items()
+        }
+        return BaselineContext(
+            components=self.application.component_names,
+            evaluator=evaluator,
+            traffic_matrix=telemetry.traffic_matrix(),
+            message_matrix=message_matrix,
+            busyness=busyness,
+        )
+
+    # -- stage 3: monitoring ------------------------------------------------------------------------
+    def drift_detector(
+        self,
+        recommendation: Recommendation,
+        executed_plan: MigrationPlan,
+        measured_latencies: Mapping[str, Sequence[float]],
+    ) -> DriftDetector:
+        """Build the drift detector for one executed plan.
+
+        ``measured_latencies`` are the per-API latencies observed right after executing
+        the plan (the previous round's ground truth, ``b_real`` in the paper).
+        """
+        approx = {
+            api: estimate.estimated_latencies_ms
+            for api, estimate in recommendation.latency_preview(executed_plan).items()
+            if api in measured_latencies
+        }
+        real = {api: list(measured_latencies[api]) for api in approx}
+        return DriftDetector(
+            approx_latencies=approx,
+            real_latencies=real,
+            threshold_factor=self.config.drift_threshold_factor,
+        )
+
+    def breach_detector(self) -> BreachDetector:
+        """Footprint-based data-breach detector (Section 6)."""
+        knowledge = self._require_knowledge()
+        return BreachDetector(
+            knowledge.footprint, ratio_threshold=self.config.breach_ratio_threshold
+        )
+
+    # -- internals --------------------------------------------------------------------------------------
+    def _require_knowledge(self) -> ApplicationKnowledge:
+        if self.knowledge is None:
+            raise RuntimeError("Atlas.learn() must be called before this operation")
+        return self.knowledge
+
+    def _require_telemetry(self) -> TelemetryServer:
+        if self.telemetry is None:
+            raise RuntimeError("Atlas.learn() must be called before this operation")
+        return self.telemetry

@@ -1,0 +1,18 @@
+"""Execution simulator: the ground-truth substrate replacing the paper's testbed."""
+
+from .engine import RequestOutcome, SimulationEngine
+from .run import (
+    ContentionModel,
+    SimulationResult,
+    component_operation_counts,
+    simulate_workload,
+)
+
+__all__ = [
+    "SimulationEngine",
+    "RequestOutcome",
+    "ContentionModel",
+    "SimulationResult",
+    "component_operation_counts",
+    "simulate_workload",
+]

@@ -1,0 +1,235 @@
+"""Request execution engine.
+
+This is the ground-truth substrate that replaces the paper's Kubernetes/CloudLab
+testbed: it executes the call tree of an API request under a concrete
+:class:`~repro.cluster.placement.MigrationPlan`, charging network transfer time for
+every invocation whose caller and callee live in different datacenters, and emits the
+same telemetry a real deployment would (spans, component metrics, mesh byte counters).
+
+Execution semantics of a :class:`~repro.apps.model.CallNode` (mirrors Figure 6):
+
+* the node performs ``(1 - post_work_fraction) * work_ms`` of local work,
+* then issues its child invocations in declaration order —
+  consecutive *parallel* children share a fork point and run concurrently,
+  a *sequential* child waits for every previously issued foreground child,
+  a *background* child is fired but never delays the node's completion,
+* finally the node performs the remaining local work and returns.
+
+Each invocation costs a request transfer before the child starts and a response
+transfer before the parent observes completion, both computed by the
+:class:`~repro.cluster.network.NetworkModel` from the sampled payload sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..apps.model import Application, CallNode, ExecutionMode
+from ..cluster.network import NetworkModel
+from ..cluster.placement import MigrationPlan
+from ..telemetry.server import TelemetryServer
+from ..telemetry.tracing import Span, Trace, new_trace_id
+from ..workload.generator import ApiRequest
+
+__all__ = ["RequestOutcome", "SimulationEngine", "SlowdownModel"]
+
+#: Signature of the CPU-contention slowdown callback: (location, time_ms) -> factor >= 1.
+SlowdownModel = Callable[[int, float], float]
+
+
+@dataclass
+class RequestOutcome:
+    """Result of executing one API request."""
+
+    request: ApiRequest
+    trace: Trace
+    latency_ms: float
+    failed: bool = False
+    cross_dc_invocations: int = 0
+
+
+class SimulationEngine:
+    """Executes API requests against an application + placement and records telemetry."""
+
+    def __init__(
+        self,
+        application: Application,
+        plan: MigrationPlan,
+        network: NetworkModel,
+        telemetry: Optional[TelemetryServer] = None,
+        slowdown: Optional[SlowdownModel] = None,
+        seed: int = 23,
+        failure_latency_ms: float = 10_000.0,
+    ) -> None:
+        missing = set(application.component_names) - set(plan.components)
+        if missing:
+            raise ValueError(f"plan is missing components: {sorted(missing)}")
+        self.application = application
+        self.plan = plan
+        self.network = network
+        self.telemetry = telemetry if telemetry is not None else TelemetryServer()
+        self.slowdown = slowdown or (lambda _loc, _t: 1.0)
+        self.failure_latency_ms = failure_latency_ms
+        self._rng = np.random.default_rng(seed)
+        self._span_counter = itertools.count(1)
+
+    # -- public API -----------------------------------------------------------------
+    def execute(self, request: ApiRequest) -> RequestOutcome:
+        """Execute one request, record its telemetry and return the outcome."""
+        api = self.application.api(request.api)
+        trace_id = new_trace_id()
+        spans: List[Span] = []
+        stats = {"cross_dc": 0}
+        root_start = request.time_ms
+        root_end = self._execute_node(
+            node=api.root,
+            parent_location=None,
+            start_ms=root_start,
+            request=request,
+            trace_id=trace_id,
+            parent_span_id=None,
+            spans=spans,
+            stats=stats,
+            extra_work_ms=request.extra_work_ms,
+        )
+        trace = Trace(trace_id, request.api, spans)
+        self.telemetry.ingest_trace(trace)
+        latency = root_end - root_start
+        failed = latency >= self.failure_latency_ms
+        return RequestOutcome(
+            request=request,
+            trace=trace,
+            latency_ms=latency,
+            failed=failed,
+            cross_dc_invocations=stats["cross_dc"],
+        )
+
+    # -- internals ----------------------------------------------------------------------
+    def _next_span_id(self) -> str:
+        return f"span-{next(self._span_counter):010d}"
+
+    def _sample_work_ms(self, node: CallNode, location: int, time_ms: float) -> float:
+        noise = self._rng.normal(1.0, node.work_cv) if node.work_cv > 0 else 1.0
+        factor = self.slowdown(location, time_ms)
+        if factor < 1.0:
+            factor = 1.0
+        return max(0.0, node.work_ms * max(noise, 0.1) * factor)
+
+    def _execute_node(
+        self,
+        node: CallNode,
+        parent_location: Optional[int],
+        start_ms: float,
+        request: ApiRequest,
+        trace_id: str,
+        parent_span_id: Optional[str],
+        spans: List[Span],
+        stats: Dict[str, int],
+        extra_work_ms: float = 0.0,
+    ) -> float:
+        """Execute one call-tree node starting at ``start_ms``.
+
+        ``start_ms`` is the time at which the node begins processing (i.e. after the
+        request transfer from the parent).  Returns the node's internal end time; the
+        caller adds the response transfer.
+        """
+        location = self.plan[node.component]
+        span_id = self._next_span_id()
+        total_work = self._sample_work_ms(node, location, start_ms) + extra_work_ms
+        pre_work = total_work * (1.0 - node.post_work_fraction)
+        post_work = total_work * node.post_work_fraction
+
+        cursor = start_ms + pre_work
+        parallel_ends: List[float] = []
+
+        for spec in node.calls:
+            child = spec.node
+            child_location = self.plan[child.component]
+            req_bytes, resp_bytes = child.payload.sample(self._rng)
+            req_bytes *= request.payload_scale
+            resp_bytes *= request.payload_scale
+            cross_dc = child_location != location
+            if cross_dc:
+                stats["cross_dc"] += 1
+
+            if spec.mode is ExecutionMode.SEQUENTIAL and parallel_ends:
+                cursor = max(cursor, max(parallel_ends))
+                parallel_ends = []
+
+            issue_time = cursor + spec.gap_ms
+            request_transfer = self.network.transfer_time_ms(location, child_location, req_bytes)
+            child_start = issue_time + request_transfer
+            child_end = self._execute_node(
+                node=child,
+                parent_location=location,
+                start_ms=child_start,
+                request=request,
+                trace_id=trace_id,
+                parent_span_id=span_id,
+                spans=spans,
+                stats=stats,
+            )
+            response_transfer = self.network.transfer_time_ms(
+                child_location, location, resp_bytes
+            )
+            observed_end = child_end + response_transfer
+
+            self._record_invocation(
+                caller=node.component,
+                callee=child.component,
+                time_ms=issue_time,
+                request_bytes=req_bytes,
+                response_bytes=resp_bytes,
+            )
+
+            if spec.mode is ExecutionMode.PARALLEL:
+                parallel_ends.append(observed_end)
+            elif spec.mode is ExecutionMode.SEQUENTIAL:
+                cursor = observed_end
+            # BACKGROUND children neither update the cursor nor join parallel_ends.
+
+        if parallel_ends:
+            cursor = max(cursor, max(parallel_ends))
+        end_ms = cursor + post_work
+
+        spans.append(
+            Span(
+                trace_id=trace_id,
+                span_id=span_id,
+                parent_id=parent_span_id,
+                component=node.component,
+                operation=node.operation,
+                start_ms=start_ms,
+                duration_ms=end_ms - start_ms,
+            )
+        )
+        # Convert CPU-milliseconds of work into the average millicores contributed to the
+        # enclosing metrics window (1 ms of busy CPU over a window of W ms = 1000/W mc).
+        cpu_millicores = total_work / self.telemetry.window_ms * 1000.0
+        self.telemetry.metrics.record(
+            node.component,
+            start_ms,
+            cpu_millicores=cpu_millicores,
+            requests=1.0,
+        )
+        return end_ms
+
+    def _record_invocation(
+        self,
+        caller: str,
+        callee: str,
+        time_ms: float,
+        request_bytes: float,
+        response_bytes: float,
+    ) -> None:
+        self.telemetry.mesh.record(caller, callee, time_ms, request_bytes, response_bytes)
+        self.telemetry.metrics.record(
+            caller, time_ms, egress_bytes=request_bytes, ingress_bytes=response_bytes
+        )
+        self.telemetry.metrics.record(
+            callee, time_ms, ingress_bytes=request_bytes, egress_bytes=response_bytes
+        )

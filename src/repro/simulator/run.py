@@ -1,0 +1,249 @@
+"""Workload-level simulation runner.
+
+Ties the pieces together: a request stream (from :mod:`repro.workload`), an application
+model, a migration plan, the hybrid-cluster topology and network model go in; telemetry
+(traces + metrics + mesh counters) and per-request outcomes come out.  This is the
+"testbed" every experiment runs on — both to collect learning data for Atlas and to
+measure ground-truth post-migration behaviour that Atlas's estimates are compared
+against (Figure 18).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..apps.model import Application
+from ..cluster.network import NetworkModel, default_network_model
+from ..cluster.placement import MigrationPlan
+from ..cluster.topology import CLOUD, ON_PREM, HybridCluster, default_hybrid_cluster
+from ..telemetry.server import TelemetryServer
+from ..workload.generator import ApiRequest
+from .engine import RequestOutcome, SimulationEngine
+
+__all__ = [
+    "SimulationResult",
+    "ContentionModel",
+    "component_operation_counts",
+    "simulate_workload",
+]
+
+
+def component_operation_counts(application: Application) -> Dict[str, Dict[str, int]]:
+    """Per API, how many operations each component executes for one request."""
+    counts: Dict[str, Dict[str, int]] = {}
+    for api in application.apis:
+        per_component: Dict[str, int] = {}
+        for node in api.root.walk():
+            per_component[node.component] = per_component.get(node.component, 0) + 1
+        counts[api.name] = per_component
+    return counts
+
+
+class ContentionModel:
+    """CPU-contention slowdown derived from expected demand vs. datacenter capacity.
+
+    The on-prem datacenter has fixed capacity; when the expected CPU demand of the
+    components placed there exceeds a utilization threshold, local processing slows
+    down (and far beyond capacity, requests effectively fail) — this is what produces
+    the latency spikes and failures of Figure 2.  Elastic (cloud) datacenters never
+    slow down because the cluster autoscaler adds nodes.
+    """
+
+    def __init__(
+        self,
+        application: Application,
+        plan: MigrationPlan,
+        cluster: HybridCluster,
+        requests: Sequence[ApiRequest],
+        window_ms: float = 10_000.0,
+        knee_utilization: float = 0.75,
+        slope: float = 8.0,
+        max_slowdown: float = 30.0,
+    ) -> None:
+        self.window_ms = window_ms
+        self.knee = knee_utilization
+        self.slope = slope
+        self.max_slowdown = max_slowdown
+        self._factors: Dict[Tuple[int, int], float] = {}
+        self._build(application, plan, cluster, requests)
+
+    def _build(
+        self,
+        application: Application,
+        plan: MigrationPlan,
+        cluster: HybridCluster,
+        requests: Sequence[ApiRequest],
+    ) -> None:
+        if not requests:
+            return
+        op_counts = component_operation_counts(application)
+        max_time = max(r.time_ms for r in requests)
+        n_windows = int(max_time // self.window_ms) + 1
+        # API request counts per window.
+        api_counts: Dict[int, Dict[str, int]] = {}
+        for req in requests:
+            w = int(req.time_ms // self.window_ms)
+            api_counts.setdefault(w, {}).setdefault(req.api, 0)
+            api_counts[w][req.api] += 1
+        for dc in cluster.datacenters:
+            capacity = dc.cpu_capacity_millicores()
+            for w in range(n_windows):
+                if dc.elastic or capacity == float("inf"):
+                    self._factors[(dc.location_id, w)] = 1.0
+                    continue
+                counts = api_counts.get(w, {})
+                demand = 0.0
+                for component in plan.components_at(dc.location_id):
+                    if not application.has_component(component):
+                        continue
+                    profile = application.component(component).resources
+                    rps = 0.0
+                    for api_name, count in counts.items():
+                        ops = op_counts.get(api_name, {}).get(component, 0)
+                        rps += ops * count / (self.window_ms / 1_000.0)
+                    demand += profile.expected_cpu(rps)
+                rho = demand / capacity if capacity > 0 else float("inf")
+                self._factors[(dc.location_id, w)] = self._slowdown_for(rho)
+
+    def _slowdown_for(self, rho: float) -> float:
+        if rho <= self.knee:
+            return 1.0
+        factor = 1.0 + self.slope * (rho - self.knee) ** 2
+        if rho > 1.0:
+            factor += self.slope * (rho - 1.0)
+        return min(factor, self.max_slowdown)
+
+    def __call__(self, location: int, time_ms: float) -> float:
+        window = int(time_ms // self.window_ms)
+        return self._factors.get((location, window), 1.0)
+
+    def peak_utilization_factor(self) -> float:
+        """Largest slowdown factor seen anywhere (diagnostic)."""
+        return max(self._factors.values(), default=1.0)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one workload under one migration plan."""
+
+    application: Application
+    plan: MigrationPlan
+    telemetry: TelemetryServer
+    outcomes: List[RequestOutcome]
+    window_ms: float
+
+    # -- derived views ---------------------------------------------------------------
+    def api_latencies(self) -> Dict[str, List[float]]:
+        latencies: Dict[str, List[float]] = {}
+        for outcome in self.outcomes:
+            latencies.setdefault(outcome.request.api, []).append(outcome.latency_ms)
+        return latencies
+
+    def mean_latency(self, api: str) -> float:
+        values = [o.latency_ms for o in self.outcomes if o.request.api == api]
+        if not values:
+            raise KeyError(f"no requests observed for API {api!r}")
+        return float(statistics.fmean(values))
+
+    def latency_percentile(self, api: str, pct: float) -> float:
+        values = [o.latency_ms for o in self.outcomes if o.request.api == api]
+        if not values:
+            raise KeyError(f"no requests observed for API {api!r}")
+        return float(np.percentile(values, pct))
+
+    def mean_latencies(self) -> Dict[str, float]:
+        return {api: float(statistics.fmean(v)) for api, v in self.api_latencies().items()}
+
+    def failure_rate(self, api: Optional[str] = None) -> float:
+        pool = [
+            o for o in self.outcomes if api is None or o.request.api == api
+        ]
+        if not pool:
+            return 0.0
+        return sum(1 for o in pool if o.failed) / len(pool)
+
+    def request_count(self, api: Optional[str] = None) -> int:
+        return sum(1 for o in self.outcomes if api is None or o.request.api == api)
+
+    def cross_dc_invocations(self) -> int:
+        return sum(o.cross_dc_invocations for o in self.outcomes)
+
+
+def _add_idle_usage(
+    application: Application,
+    telemetry: TelemetryServer,
+    requests: Sequence[ApiRequest],
+) -> None:
+    """Add idle CPU/memory baselines so metrics reflect total (not just busy) usage."""
+    windows = telemetry.metrics.windows()
+    if not windows:
+        return
+    op_counts = component_operation_counts(application)
+    window_s = telemetry.window_ms / 1_000.0
+    # Requests per API per window, to derive per-component rps for memory scaling.
+    api_counts: Dict[int, Dict[str, int]] = {}
+    for req in requests:
+        w = telemetry.metrics.window_of(req.time_ms)
+        api_counts.setdefault(w, {}).setdefault(req.api, 0)
+        api_counts[w][req.api] += 1
+    for component in application.components:
+        profile = component.resources
+        for w in windows:
+            counts = api_counts.get(w, {})
+            rps = sum(
+                op_counts.get(api_name, {}).get(component.name, 0) * count / window_s
+                for api_name, count in counts.items()
+            )
+            telemetry.metrics.record(
+                component.name,
+                w * telemetry.window_ms,
+                cpu_millicores=profile.cpu_millicores_idle,
+                memory_mb=profile.expected_memory(rps),
+            )
+
+
+def simulate_workload(
+    application: Application,
+    requests: Sequence[ApiRequest],
+    plan: Optional[MigrationPlan] = None,
+    cluster: Optional[HybridCluster] = None,
+    network: Optional[NetworkModel] = None,
+    telemetry_window_ms: float = 5_000.0,
+    contention: bool = True,
+    seed: int = 23,
+) -> SimulationResult:
+    """Execute a request stream and return telemetry plus per-request outcomes.
+
+    ``plan`` defaults to the all-on-prem placement, ``cluster`` to the paper's
+    two-datacenter setup and ``network`` to its measured link characteristics.
+    """
+    if plan is None:
+        plan = MigrationPlan.all_on_prem(application.component_names)
+    cluster = cluster or default_hybrid_cluster()
+    network = network or default_network_model()
+    telemetry = TelemetryServer(window_ms=telemetry_window_ms)
+    requests = sorted(requests, key=lambda r: r.time_ms)
+    slowdown = (
+        ContentionModel(application, plan, cluster, requests) if contention else None
+    )
+    engine = SimulationEngine(
+        application=application,
+        plan=plan,
+        network=network,
+        telemetry=telemetry,
+        slowdown=slowdown,
+        seed=seed,
+    )
+    outcomes = [engine.execute(req) for req in requests]
+    _add_idle_usage(application, telemetry, requests)
+    return SimulationResult(
+        application=application,
+        plan=plan,
+        telemetry=telemetry,
+        outcomes=outcomes,
+        window_ms=telemetry_window_ms,
+    )

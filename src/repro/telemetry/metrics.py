@@ -1,0 +1,140 @@
+"""Component-focused resource metrics (cAdvisor-like).
+
+Per-component, per-window time series of CPU, memory, ingress/egress traffic and served
+request counts.  The windows are aligned with the pairwise network metrics so the
+resource estimator and the cost model can join them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["MetricSample", "ComponentMetricsStore"]
+
+#: Metric names recorded for every component.
+METRIC_NAMES = ("cpu_millicores", "memory_mb", "ingress_bytes", "egress_bytes", "requests")
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """Resource usage of one component during one time window."""
+
+    component: str
+    window: int
+    cpu_millicores: float = 0.0
+    memory_mb: float = 0.0
+    ingress_bytes: float = 0.0
+    egress_bytes: float = 0.0
+    requests: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in METRIC_NAMES:
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+class ComponentMetricsStore:
+    """Accumulating store of per-component, per-window resource metrics."""
+
+    def __init__(self, window_ms: float = 5_000.0) -> None:
+        if window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        self.window_ms = window_ms
+        # (component, window) -> {metric: value}
+        self._data: Dict[Tuple[str, int], Dict[str, float]] = defaultdict(
+            lambda: {name: 0.0 for name in METRIC_NAMES}
+        )
+        self._components: List[str] = []
+
+    # -- writes ------------------------------------------------------------------
+    def record(
+        self,
+        component: str,
+        time_ms: float,
+        cpu_millicores: float = 0.0,
+        memory_mb: float = 0.0,
+        ingress_bytes: float = 0.0,
+        egress_bytes: float = 0.0,
+        requests: float = 0.0,
+    ) -> None:
+        """Add usage observed at ``time_ms`` to the enclosing window (values accumulate,
+        except memory which is tracked as a high-water mark within the window)."""
+        window = self.window_of(time_ms)
+        cell = self._data[(component, window)]
+        cell["cpu_millicores"] += cpu_millicores
+        cell["memory_mb"] = max(cell["memory_mb"], memory_mb)
+        cell["ingress_bytes"] += ingress_bytes
+        cell["egress_bytes"] += egress_bytes
+        cell["requests"] += requests
+        if component not in self._components:
+            self._components.append(component)
+
+    def record_sample(self, sample: MetricSample) -> None:
+        cell = self._data[(sample.component, sample.window)]
+        cell["cpu_millicores"] += sample.cpu_millicores
+        cell["memory_mb"] = max(cell["memory_mb"], sample.memory_mb)
+        cell["ingress_bytes"] += sample.ingress_bytes
+        cell["egress_bytes"] += sample.egress_bytes
+        cell["requests"] += sample.requests
+        if sample.component not in self._components:
+            self._components.append(sample.component)
+
+    # -- reads --------------------------------------------------------------------
+    def window_of(self, time_ms: float) -> int:
+        return int(time_ms // self.window_ms)
+
+    @property
+    def components(self) -> List[str]:
+        return list(self._components)
+
+    def windows(self) -> List[int]:
+        """All windows with at least one sample, sorted."""
+        return sorted({w for (_c, w) in self._data})
+
+    def value(self, component: str, window: int, metric: str) -> float:
+        if metric not in METRIC_NAMES:
+            raise KeyError(f"unknown metric {metric!r}")
+        return self._data.get((component, window), {name: 0.0 for name in METRIC_NAMES})[metric]
+
+    def series(
+        self,
+        component: str,
+        metric: str,
+        windows: Optional[Sequence[int]] = None,
+    ) -> List[float]:
+        """Time series of one metric for one component over the given (or all) windows."""
+        windows = list(windows) if windows is not None else self.windows()
+        return [self.value(component, w, metric) for w in windows]
+
+    def total(self, component: str, metric: str) -> float:
+        return sum(
+            cell[metric] for (comp, _w), cell in self._data.items() if comp == component
+        )
+
+    def aggregate(
+        self,
+        metric: str,
+        components: Optional[Iterable[str]] = None,
+        windows: Optional[Sequence[int]] = None,
+    ) -> List[float]:
+        """Sum of one metric over a set of components, as a series over windows."""
+        selected = set(components) if components is not None else set(self._components)
+        windows = list(windows) if windows is not None else self.windows()
+        return [
+            sum(self.value(c, w, metric) for c in selected)
+            for w in windows
+        ]
+
+    def peak(self, metric: str, components: Optional[Iterable[str]] = None) -> float:
+        """Maximum over windows of the aggregate of one metric (used for capacity checks)."""
+        series = self.aggregate(metric, components)
+        return max(series) if series else 0.0
+
+    def samples(self) -> List[MetricSample]:
+        """All accumulated samples (mainly for persistence and tests)."""
+        return [
+            MetricSample(component=comp, window=window, **cell)
+            for (comp, window), cell in sorted(self._data.items())
+        ]

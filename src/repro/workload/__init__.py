@@ -1,0 +1,18 @@
+"""Workload generation: API mixes, diurnal profiles, social graph and request streams."""
+
+from .generator import ApiRequest, WorkloadGenerator, burst_scenario, default_scenario
+from .profiles import ApiMix, BehaviorChange, DiurnalProfile, WorkloadScenario
+from .social_graph import ContentSampler, SocialGraph
+
+__all__ = [
+    "ApiMix",
+    "DiurnalProfile",
+    "BehaviorChange",
+    "WorkloadScenario",
+    "SocialGraph",
+    "ContentSampler",
+    "ApiRequest",
+    "WorkloadGenerator",
+    "default_scenario",
+    "burst_scenario",
+]

@@ -1,0 +1,156 @@
+"""Workload generator: turns a :class:`WorkloadScenario` into a timed request stream.
+
+This plays the role of the paper's Locust-based generator: it draws API requests from
+the scenario's (possibly drifting) API mix at a rate given by the diurnal profile and
+annotates each request with per-request payload scaling derived from the content
+sampler (post sizes, media sizes, mention activity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..apps.model import Application
+from .profiles import ApiMix, DiurnalProfile, WorkloadScenario
+from .social_graph import ContentSampler, SocialGraph
+
+__all__ = ["ApiRequest", "WorkloadGenerator", "default_scenario", "burst_scenario"]
+
+
+@dataclass(frozen=True)
+class ApiRequest:
+    """One client request to a user-facing API."""
+
+    time_ms: float
+    api: str
+    user: int = 0
+    payload_scale: float = 1.0
+    extra_work_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise ValueError("request time must be non-negative")
+        if self.payload_scale <= 0:
+            raise ValueError("payload_scale must be positive")
+
+
+class WorkloadGenerator:
+    """Generates a stream of :class:`ApiRequest` from a scenario."""
+
+    def __init__(
+        self,
+        application: Application,
+        scenario: WorkloadScenario,
+        social_graph: Optional[SocialGraph] = None,
+        content: Optional[ContentSampler] = None,
+        seed: int = 17,
+        tick_ms: float = 1_000.0,
+    ) -> None:
+        unknown = set(scenario.mix.apis) - set(application.api_names)
+        if unknown:
+            raise ValueError(f"scenario references unknown APIs: {sorted(unknown)}")
+        if tick_ms <= 0:
+            raise ValueError("tick_ms must be positive")
+        self.application = application
+        self.scenario = scenario
+        self.social_graph = social_graph or SocialGraph(seed=seed)
+        self.content = content or ContentSampler(seed=seed + 1)
+        self.tick_ms = tick_ms
+        self._rng = np.random.default_rng(seed)
+
+    # -- generation --------------------------------------------------------------------
+    def generate(self, duration_ms: float, start_ms: float = 0.0) -> List[ApiRequest]:
+        """Generate all requests in ``[start_ms, start_ms + duration_ms)``."""
+        if duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        return list(self.iter_requests(duration_ms, start_ms))
+
+    def iter_requests(self, duration_ms: float, start_ms: float = 0.0) -> Iterator[ApiRequest]:
+        """Yield requests tick by tick; Poisson arrivals within each tick."""
+        ticks = int(np.ceil(duration_ms / self.tick_ms))
+        for tick in range(ticks):
+            tick_start = start_ms + tick * self.tick_ms
+            tick_len = min(self.tick_ms, start_ms + duration_ms - tick_start)
+            rate_rps = self.scenario.profile.rate_at(tick_start)
+            expected = rate_rps * tick_len / 1_000.0
+            count = int(self._rng.poisson(expected))
+            if count == 0:
+                continue
+            offsets = np.sort(self._rng.uniform(0.0, tick_len, size=count))
+            mix = self.scenario.mix_at(tick_start)
+            probs = mix.probabilities()
+            apis = list(probs)
+            p = np.array([probs[a] for a in apis])
+            chosen = self._rng.choice(len(apis), size=count, p=p)
+            for offset, api_idx in zip(offsets, chosen):
+                time_ms = tick_start + float(offset)
+                api = apis[int(api_idx)]
+                yield self._make_request(api, time_ms)
+
+    def _make_request(self, api: str, time_ms: float) -> ApiRequest:
+        user = self.social_graph.sample_user(self._rng)
+        scale = self.scenario.payload_scale_at(api, time_ms)
+        extra_work = self.scenario.extra_work_at(api, time_ms)
+        # Content-driven per-request variation on top of the scenario-level scale.
+        if api in ("/composePost",):
+            scale *= 0.85 + 0.3 * self._rng.random()
+        elif api in ("/uploadMedia", "/getMedia"):
+            scale *= float(np.clip(self._rng.lognormal(0.0, 0.25), 0.5, 2.5))
+        elif api in ("/homeTimeline", "/userTimeline"):
+            # Popular users have longer timelines -> larger responses.
+            followers = self.social_graph.follower_count(user)
+            scale *= 0.8 + min(followers / (4.0 * self.social_graph.mean_followers()), 1.5)
+        return ApiRequest(
+            time_ms=time_ms,
+            api=api,
+            user=user,
+            payload_scale=float(scale),
+            extra_work_ms=float(extra_work),
+        )
+
+    # -- summaries -----------------------------------------------------------------------
+    def expected_request_count(self, duration_ms: float) -> float:
+        return self.scenario.profile.mean_rate() * duration_ms / 1_000.0
+
+
+# ---------------------------------------------------------------------------
+# Convenience scenarios
+# ---------------------------------------------------------------------------
+
+def default_scenario(
+    application: Application,
+    base_rps: float = 20.0,
+    peak_rps: float = 45.0,
+    duration_ms: float = 300_000.0,
+    name: str = "steady-day",
+) -> WorkloadScenario:
+    """A one-day (compressed) scenario using the application's default API mix."""
+    mix = ApiMix(application.api_weights())
+    profile = DiurnalProfile(
+        base_rps=base_rps,
+        peak_rps=peak_rps,
+        duration_ms=duration_ms,
+    )
+    return WorkloadScenario(mix=mix, profile=profile, name=name)
+
+
+def burst_scenario(
+    application: Application,
+    burst_factor: float = 5.0,
+    base_rps: float = 20.0,
+    peak_rps: float = 45.0,
+    duration_ms: float = 300_000.0,
+) -> WorkloadScenario:
+    """The paper's evaluation load: the same mix with ``burst_factor`` times more users."""
+    scenario = default_scenario(
+        application,
+        base_rps=base_rps,
+        peak_rps=peak_rps,
+        duration_ms=duration_ms,
+        name=f"burst-{burst_factor:g}x",
+    )
+    scenario.profile = scenario.profile.scaled(burst_factor)
+    return scenario

@@ -1,0 +1,166 @@
+"""Workload shape descriptions: API mixes, diurnal profiles and behaviour changes.
+
+The paper's Locust-based generator compresses one day of traffic into five minutes with
+two peak hours (e.g. lunchtime and late evening), draws API requests from a realistic
+mix, and varies day-to-day behaviour.  This module captures those shapes declaratively;
+:mod:`repro.workload.generator` turns them into a concrete request stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["ApiMix", "DiurnalProfile", "BehaviorChange", "WorkloadScenario"]
+
+
+@dataclass(frozen=True)
+class ApiMix:
+    """Relative request probabilities of the user-facing APIs."""
+
+    weights: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("an API mix needs at least one API")
+        if any(w < 0 for w in self.weights.values()):
+            raise ValueError("API weights must be non-negative")
+        if sum(self.weights.values()) <= 0:
+            raise ValueError("API weights must not all be zero")
+
+    @property
+    def apis(self) -> List[str]:
+        return list(self.weights)
+
+    def probabilities(self) -> Dict[str, float]:
+        total = sum(self.weights.values())
+        return {api: w / total for api, w in self.weights.items()}
+
+    def reweighted(self, overrides: Mapping[str, float]) -> "ApiMix":
+        """A copy with some APIs' weights replaced (used to model composition drift)."""
+        unknown = set(overrides) - set(self.weights)
+        if unknown:
+            raise KeyError(f"unknown APIs in override: {sorted(unknown)}")
+        new_weights = dict(self.weights)
+        new_weights.update(overrides)
+        return ApiMix(new_weights)
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Request-rate shape over one (compressed) day with two peaks.
+
+    The rate at a point in the day is ``base_rps`` plus two Gaussian bumps centred at
+    ``peak_hours`` (expressed in hours of a 24-hour day).  ``duration_ms`` is how long
+    the compressed day lasts in simulation time (the paper compresses a day into five
+    minutes).
+    """
+
+    base_rps: float = 20.0
+    peak_rps: float = 60.0
+    peak_hours: Sequence[float] = (12.5, 20.5)
+    peak_width_hours: float = 1.6
+    duration_ms: float = 300_000.0
+
+    def __post_init__(self) -> None:
+        if self.base_rps < 0 or self.peak_rps < 0:
+            raise ValueError("rates must be non-negative")
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if self.peak_width_hours <= 0:
+            raise ValueError("peak_width_hours must be positive")
+
+    def hour_of(self, time_ms: float) -> float:
+        """Map simulation time into the hour-of-day of the compressed day."""
+        frac = (time_ms % self.duration_ms) / self.duration_ms
+        return frac * 24.0
+
+    def rate_at(self, time_ms: float) -> float:
+        """Requests per second at the given simulation time."""
+        hour = self.hour_of(time_ms)
+        rate = self.base_rps
+        for peak in self.peak_hours:
+            # Wrap-around distance on the 24-hour circle.
+            dist = min(abs(hour - peak), 24.0 - abs(hour - peak))
+            rate += self.peak_rps * math.exp(-0.5 * (dist / self.peak_width_hours) ** 2)
+        return rate
+
+    def scaled(self, factor: float) -> "DiurnalProfile":
+        """A profile with all rates multiplied (e.g. the paper's 5x burst)."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return DiurnalProfile(
+            base_rps=self.base_rps * factor,
+            peak_rps=self.peak_rps * factor,
+            peak_hours=self.peak_hours,
+            peak_width_hours=self.peak_width_hours,
+            duration_ms=self.duration_ms,
+        )
+
+    def mean_rate(self, samples: int = 288) -> float:
+        """Average request rate over the day (sampled)."""
+        step = self.duration_ms / samples
+        return sum(self.rate_at(i * step) for i in range(samples)) / samples
+
+
+@dataclass(frozen=True)
+class BehaviorChange:
+    """A change in user behaviour starting at ``start_ms`` (internal/external drift).
+
+    ``payload_scale`` multiplies the payload sizes of the affected APIs' invocations
+    (internal drift: e.g. users start tagging friends, responses grow).  ``mix_override``
+    changes the API composition (external drift).
+    """
+
+    start_ms: float
+    apis: Sequence[str] = ()
+    payload_scale: float = 1.0
+    extra_work_ms: float = 0.0
+    mix_override: Optional[Mapping[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0:
+            raise ValueError("start_ms must be non-negative")
+        if self.payload_scale <= 0:
+            raise ValueError("payload_scale must be positive")
+        if self.extra_work_ms < 0:
+            raise ValueError("extra_work_ms must be non-negative")
+
+    def applies_to(self, api: str, time_ms: float) -> bool:
+        if time_ms < self.start_ms:
+            return False
+        return not self.apis or api in self.apis
+
+
+@dataclass
+class WorkloadScenario:
+    """A complete workload description: mix + diurnal shape + optional behaviour changes."""
+
+    mix: ApiMix
+    profile: DiurnalProfile = field(default_factory=DiurnalProfile)
+    changes: List[BehaviorChange] = field(default_factory=list)
+    name: str = "default"
+
+    def mix_at(self, time_ms: float) -> ApiMix:
+        """Effective API mix at a point in time, after applying composition drifts."""
+        mix = self.mix
+        for change in self.changes:
+            if change.mix_override is not None and time_ms >= change.start_ms:
+                mix = mix.reweighted(change.mix_override)
+        return mix
+
+    def payload_scale_at(self, api: str, time_ms: float) -> float:
+        """Combined payload scale of all active behaviour changes for one API."""
+        scale = 1.0
+        for change in self.changes:
+            if change.payload_scale != 1.0 and change.applies_to(api, time_ms):
+                scale *= change.payload_scale
+        return scale
+
+    def extra_work_at(self, api: str, time_ms: float) -> float:
+        return sum(
+            change.extra_work_ms
+            for change in self.changes
+            if change.extra_work_ms > 0 and change.applies_to(api, time_ms)
+        )

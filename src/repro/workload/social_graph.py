@@ -1,0 +1,98 @@
+"""Synthetic social graph and content sampling.
+
+The paper seeds its social network with a real-world Facebook graph [66] and media from
+the INRIA Person dataset [35].  Neither dataset is available offline, so we substitute
+synthetic equivalents that preserve the properties the system actually depends on:
+
+* a heavy-tailed follower distribution (power-law graph via networkx), which drives the
+  fan-out size of /composePost and the home-timeline response size;
+* post lengths and media sizes drawn from log-normal distributions matching the scale
+  of real posts (hundreds of bytes) and person photos (tens to hundreds of KB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["SocialGraph", "ContentSampler"]
+
+
+class SocialGraph:
+    """A synthetic follower graph with heavy-tailed degree distribution."""
+
+    def __init__(self, users: int = 500, attachment: int = 4, seed: int = 7) -> None:
+        if users < 3:
+            raise ValueError("a social graph needs at least 3 users")
+        if attachment < 1:
+            raise ValueError("attachment must be at least 1")
+        self.users = users
+        self._graph = nx.barabasi_albert_graph(users, min(attachment, users - 1), seed=seed)
+        self._rng = np.random.default_rng(seed)
+        degrees = np.array([d for _n, d in self._graph.degree()], dtype=float)
+        self._popularity = degrees / degrees.sum()
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    def follower_count(self, user: int) -> int:
+        return int(self._graph.degree(user))
+
+    def followers(self, user: int) -> List[int]:
+        return list(self._graph.neighbors(user))
+
+    def mean_followers(self) -> float:
+        degrees = [d for _n, d in self._graph.degree()]
+        return float(np.mean(degrees)) if degrees else 0.0
+
+    def sample_user(self, rng: Optional[np.random.Generator] = None) -> int:
+        """Sample a user, biased towards popular (high-degree) users."""
+        rng = rng or self._rng
+        return int(rng.choice(self.users, p=self._popularity))
+
+    def sample_uniform_user(self, rng: Optional[np.random.Generator] = None) -> int:
+        rng = rng or self._rng
+        return int(rng.integers(0, self.users))
+
+    def degree_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for _node, degree in self._graph.degree():
+            hist[degree] = hist.get(degree, 0) + 1
+        return hist
+
+
+@dataclass
+class ContentSampler:
+    """Samples post text lengths and media sizes.
+
+    ``post_bytes_mu``/``sigma`` parameterize a log-normal for post text (median around
+    180 bytes), and ``media_bytes_mu``/``sigma`` one for photos (median around 60 KB,
+    mimicking the INRIA person photos of various resolutions).
+    """
+
+    post_bytes_mu: float = 5.2
+    post_bytes_sigma: float = 0.6
+    media_bytes_mu: float = 11.0
+    media_bytes_sigma: float = 0.5
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def post_size_bytes(self, rng: Optional[np.random.Generator] = None) -> float:
+        rng = rng or self._rng
+        return float(rng.lognormal(self.post_bytes_mu, self.post_bytes_sigma))
+
+    def media_size_bytes(self, rng: Optional[np.random.Generator] = None) -> float:
+        rng = rng or self._rng
+        return float(rng.lognormal(self.media_bytes_mu, self.media_bytes_sigma))
+
+    def mention_count(self, rng: Optional[np.random.Generator] = None, active: bool = False) -> int:
+        """How many friends the author tags in a post (higher when behaviour is 'active')."""
+        rng = rng or self._rng
+        lam = 2.5 if active else 0.4
+        return int(rng.poisson(lam))

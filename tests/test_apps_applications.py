@@ -1,0 +1,112 @@
+"""Structural tests of the two evaluation applications (paper Section 5.1)."""
+
+import pytest
+
+from repro.apps import ExecutionMode
+
+
+class TestSocialNetwork:
+    def test_component_counts_match_paper(self, social_app):
+        assert len(social_app.components) == 29
+        assert len(social_app.stateful_components()) == 6
+        assert len(social_app.stateless_components()) == 23
+
+    def test_api_count_matches_paper(self, social_app):
+        assert len(social_app.apis) == 9
+
+    def test_search_space_exceeds_500_million(self, social_app):
+        assert social_app.summary()["search_space"] > 500_000_000
+
+    def test_expected_apis_present(self, social_app):
+        expected = {
+            "/register",
+            "/login",
+            "/follow",
+            "/unfollow",
+            "/composePost",
+            "/homeTimeline",
+            "/userTimeline",
+            "/uploadMedia",
+            "/getMedia",
+        }
+        assert set(social_app.api_names) == expected
+
+    def test_compose_post_has_all_workflow_patterns(self, social_app):
+        modes = {mode for _s, _d, _n, mode in social_app.api("/composePost").edges()}
+        assert modes == {
+            ExecutionMode.PARALLEL,
+            ExecutionMode.SEQUENTIAL,
+            ExecutionMode.BACKGROUND,
+        }
+
+    def test_mongodbs_are_stateful(self, social_app):
+        for name in social_app.stateful_components():
+            assert name.endswith("MongoDB")
+            assert social_app.component(name).resources.storage_gb > 0
+
+    def test_compose_post_is_the_most_complex_api(self, social_app):
+        sizes = {api.name: api.span_count() for api in social_app.apis}
+        assert max(sizes, key=sizes.get) == "/composePost"
+
+    def test_media_apis_enter_through_media_nginx(self, social_app):
+        assert social_app.api("/uploadMedia").entry_component == "MediaNGINX"
+        assert social_app.api("/getMedia").entry_component == "MediaNGINX"
+
+    def test_api_weights_sum_to_one(self, social_app):
+        assert sum(social_app.api_weights().values()) == pytest.approx(1.0)
+
+    def test_register_payloads_follow_figure19(self, social_app):
+        """The /register edge sizes should match Figure 19's reported magnitudes."""
+        sizes = {
+            (src, dst): node.payload
+            for src, dst, node, _m in social_app.api("/register").edges()
+        }
+        user_mongo = sizes[("UserService", "UserMongoDB")]
+        assert user_mongo.request_bytes == pytest.approx(561.0)
+        assert user_mongo.response_bytes == pytest.approx(144.0)
+        graph_mongo = sizes[("SocialGraphService", "SocialGraphMongoDB")]
+        assert graph_mongo.request_bytes == pytest.approx(205.0)
+
+    def test_every_api_reaches_a_stateful_store(self, social_app):
+        for api in social_app.apis:
+            assert social_app.stateful_components_of_api(api.name)
+
+    def test_nominal_latencies_are_single_digit_to_tens_of_ms(self, social_app):
+        for api in social_app.apis:
+            latency = api.root.nominal_latency_ms()
+            assert 1.0 < latency < 50.0, api.name
+
+
+class TestHotelReservation:
+    def test_component_counts_match_paper(self, hotel_app):
+        assert len(hotel_app.components) == 18
+        assert len(hotel_app.stateful_components()) == 6
+        assert len(hotel_app.stateless_components()) == 12
+
+    def test_api_count_matches_paper(self, hotel_app):
+        assert len(hotel_app.apis) == 5
+        assert set(hotel_app.api_names) == {
+            "/home",
+            "/hotels",
+            "/recommendations",
+            "/user",
+            "/reservation",
+        }
+
+    def test_frontend_is_the_single_entry_point(self, hotel_app):
+        for api in hotel_app.apis:
+            assert api.entry_component == "FrontendService"
+
+    def test_hotels_api_uses_parallel_search(self, hotel_app):
+        modes = {mode for _s, _d, _n, mode in hotel_app.api("/hotels").edges()}
+        assert ExecutionMode.PARALLEL in modes
+
+    def test_reservation_touches_reserve_mongo(self, hotel_app):
+        assert "ReserveMongoDB" in hotel_app.components_of_api("/reservation")
+
+    def test_user_api_is_smallest(self, hotel_app):
+        sizes = {api.name: api.span_count() for api in hotel_app.apis}
+        assert min(sizes, key=sizes.get) == "/user"
+
+    def test_applications_have_distinct_names(self, hotel_app, social_app):
+        assert hotel_app.name != social_app.name

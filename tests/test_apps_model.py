@@ -1,0 +1,214 @@
+"""Unit tests for the application topology model."""
+
+import pytest
+
+from repro.apps import (
+    ApiEndpoint,
+    Application,
+    CallNode,
+    Component,
+    ExecutionMode,
+    PayloadSpec,
+    ResourceProfile,
+)
+
+
+class TestResourceProfile:
+    def test_expected_cpu_scales_with_rps(self):
+        profile = ResourceProfile(cpu_millicores_idle=10, cpu_millicores_per_rps=2)
+        assert profile.expected_cpu(0) == 10
+        assert profile.expected_cpu(5) == 20
+
+    def test_expected_cpu_clamps_negative_rps(self):
+        profile = ResourceProfile(cpu_millicores_idle=10, cpu_millicores_per_rps=2)
+        assert profile.expected_cpu(-5) == 10
+
+    def test_expected_memory(self):
+        profile = ResourceProfile(memory_mb_idle=100, memory_mb_per_rps=1)
+        assert profile.expected_memory(10) == 110
+
+
+class TestComponent:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Component("")
+
+    def test_str_mentions_statefulness(self):
+        assert "stateful" in str(Component("Db", stateful=True))
+        assert "stateless" in str(Component("Svc"))
+
+
+class TestPayloadSpec:
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            PayloadSpec(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            PayloadSpec(1.0, -10.0)
+
+    def test_rejects_negative_cv(self):
+        with pytest.raises(ValueError):
+            PayloadSpec(1.0, 1.0, cv=-0.1)
+
+    def test_sample_is_non_negative_and_near_mean(self):
+        import numpy as np
+
+        spec = PayloadSpec(1_000.0, 500.0, cv=0.05)
+        rng = np.random.default_rng(0)
+        samples = [spec.sample(rng) for _ in range(200)]
+        req_mean = sum(s[0] for s in samples) / len(samples)
+        resp_mean = sum(s[1] for s in samples) / len(samples)
+        assert all(s[0] >= 0 and s[1] >= 0 for s in samples)
+        assert req_mean == pytest.approx(1_000.0, rel=0.05)
+        assert resp_mean == pytest.approx(500.0, rel=0.05)
+
+
+class TestCallNode:
+    def _tree(self):
+        leaf_a = CallNode("A", "opA", work_ms=2.0)
+        leaf_b = CallNode("B", "opB", work_ms=3.0)
+        leaf_c = CallNode("C", "opC", work_ms=1.0)
+        root = CallNode("Root", "op", work_ms=4.0, post_work_fraction=0.25)
+        root.call(leaf_a, ExecutionMode.PARALLEL, gap_ms=0.0)
+        root.call(leaf_b, ExecutionMode.PARALLEL, gap_ms=0.0)
+        root.call(leaf_c, ExecutionMode.SEQUENTIAL, gap_ms=0.0)
+        return root
+
+    def test_walk_visits_all_nodes(self):
+        root = self._tree()
+        assert {n.component for n in root.walk()} == {"Root", "A", "B", "C"}
+
+    def test_components_and_size(self):
+        root = self._tree()
+        assert root.components() == {"Root", "A", "B", "C"}
+        assert root.size() == 4
+
+    def test_depth(self):
+        root = self._tree()
+        assert root.depth() == 2
+        assert CallNode("X", "leaf").depth() == 1
+
+    def test_edges_report_modes(self):
+        root = self._tree()
+        edges = list(root.edges())
+        assert ("Root", "A") in [(s, d) for s, d, _n, _m in edges]
+        modes = {d: m for _s, d, _n, m in edges}
+        assert modes["A"] is ExecutionMode.PARALLEL
+        assert modes["C"] is ExecutionMode.SEQUENTIAL
+
+    def test_invocation_count(self):
+        root = self._tree()
+        assert root.invocation_count("Root", "A") == 1
+        assert root.invocation_count("A", "Root") == 0
+
+    def test_nominal_latency_parallel_then_sequential(self):
+        root = self._tree()
+        # pre = 3, parallel max(2,3)=3, sequential C=1, post = 1 -> 8
+        assert root.nominal_latency_ms() == pytest.approx(8.0)
+
+    def test_nominal_latency_ignores_background(self):
+        root = CallNode("Root", "op", work_ms=2.0, post_work_fraction=0.5)
+        root.call(CallNode("Bg", "op", work_ms=50.0), ExecutionMode.BACKGROUND)
+        assert root.nominal_latency_ms() == pytest.approx(2.0)
+
+    def test_rejects_invalid_post_work_fraction(self):
+        with pytest.raises(ValueError):
+            CallNode("X", "op", post_work_fraction=1.5)
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError):
+            CallNode("X", "op", work_ms=-1.0)
+
+    def test_call_accepts_string_mode(self):
+        root = CallNode("Root", "op")
+        root.call(CallNode("A", "op"), "parallel")
+        assert root.calls[0].mode is ExecutionMode.PARALLEL
+
+
+class TestApiEndpoint:
+    def test_requires_leading_slash(self):
+        with pytest.raises(ValueError):
+            ApiEndpoint("read", CallNode("Frontend", "/read"))
+
+    def test_entry_component_and_span_count(self):
+        root = CallNode("Frontend", "/read")
+        root.call(CallNode("Svc", "op"))
+        api = ApiEndpoint("/read", root)
+        assert api.entry_component == "Frontend"
+        assert api.span_count() == 2
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ApiEndpoint("/read", CallNode("Frontend", "/read"), weight=-1)
+
+
+class TestApplication:
+    def test_validates_unknown_components(self):
+        root = CallNode("Frontend", "/read")
+        root.call(CallNode("Ghost", "op"))
+        with pytest.raises(ValueError, match="Ghost"):
+            Application("bad", [Component("Frontend")], [ApiEndpoint("/read", root)])
+
+    def test_rejects_duplicate_components(self):
+        with pytest.raises(ValueError):
+            Application(
+                "dup",
+                [Component("A"), Component("A")],
+                [ApiEndpoint("/x", CallNode("A", "/x"))],
+            )
+
+    def test_rejects_duplicate_apis(self, tiny_app):
+        api = tiny_app.api("/read")
+        with pytest.raises(ValueError):
+            Application("dup", tiny_app.components, [api, api])
+
+    def test_component_lookup(self, tiny_app):
+        assert tiny_app.component("Database").stateful
+        with pytest.raises(KeyError):
+            tiny_app.component("Nope")
+
+    def test_api_lookup(self, tiny_app):
+        assert tiny_app.api("/read").name == "/read"
+        with pytest.raises(KeyError):
+            tiny_app.api("/nope")
+
+    def test_stateful_partition(self, tiny_app):
+        assert tiny_app.stateful_components() == ["Database"]
+        assert "Database" not in tiny_app.stateless_components()
+        assert len(tiny_app.stateless_components()) == 5
+
+    def test_components_of_api(self, tiny_app):
+        assert tiny_app.components_of_api("/read") == {
+            "Frontend",
+            "ServiceA",
+            "Cache",
+            "Database",
+            "Notifier",
+        }
+
+    def test_stateful_components_of_api(self, tiny_app):
+        assert tiny_app.stateful_components_of_api("/read") == {"Database"}
+        assert tiny_app.stateful_components_of_api("/write") == {"Database"}
+
+    def test_apis_using_component(self, tiny_app):
+        assert set(tiny_app.apis_using_component("Database")) == {"/read", "/write"}
+        assert tiny_app.apis_using_component("ServiceB") == ["/write"]
+
+    def test_communication_edges(self, tiny_app):
+        edges = tiny_app.communication_edges()
+        assert ("Frontend", "ServiceA") in edges
+        assert ("ServiceB", "Database") in edges
+
+    def test_api_weights_normalized(self, tiny_app):
+        weights = tiny_app.api_weights()
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert weights["/read"] == pytest.approx(0.7)
+
+    def test_total_storage(self, tiny_app):
+        assert tiny_app.total_storage_gb() == pytest.approx(10.0)
+        assert tiny_app.total_storage_gb(["Frontend"]) == 0.0
+
+    def test_summary(self, tiny_app):
+        summary = tiny_app.summary()
+        assert summary["components"] == 6
+        assert summary["apis"] == 2
+        assert summary["search_space"] == 2**6

@@ -1,0 +1,246 @@
+"""Unit tests for the hybrid-cloud substrate: topology, network, placement, autoscalers."""
+
+import json
+import math
+
+import pytest
+
+from repro.cluster import (
+    CLOUD,
+    ON_PREM,
+    AutoscalerConfig,
+    ClusterAutoscaler,
+    Datacenter,
+    HybridCluster,
+    LinkSpec,
+    MigrationPlan,
+    NetworkModel,
+    NodeSpec,
+    StorageAutoscaler,
+    default_hybrid_cluster,
+    default_network_model,
+)
+
+
+class TestNodeSpec:
+    def test_rejects_non_positive_resources(self):
+        with pytest.raises(ValueError):
+            NodeSpec("bad", cpu_millicores=0, memory_mb=100)
+        with pytest.raises(ValueError):
+            NodeSpec("bad", cpu_millicores=100, memory_mb=-1)
+
+    def test_cpu_cores_property(self):
+        assert NodeSpec("n", 4_000, 8_192).cpu_cores == 4.0
+
+
+class TestDatacenter:
+    def test_requires_node_count_or_elastic(self):
+        spec = NodeSpec("n", 1_000, 1_024)
+        with pytest.raises(ValueError):
+            Datacenter("dc", 0, spec)
+        Datacenter("dc", 0, spec, elastic=True)
+
+    def test_capacity_finite_for_on_prem(self):
+        spec = NodeSpec("n", 1_000, 1_024, storage_gb=100)
+        dc = Datacenter("dc", 0, spec, node_count=3)
+        assert dc.cpu_capacity_millicores() == 3_000
+        assert dc.memory_capacity_mb() == 3 * 1_024
+        assert dc.capacity("storage") == 300
+
+    def test_capacity_infinite_for_elastic(self):
+        spec = NodeSpec("n", 1_000, 1_024)
+        dc = Datacenter("dc", 1, spec, elastic=True)
+        assert dc.cpu_capacity_millicores() == math.inf
+
+    def test_unknown_resource(self):
+        dc = default_hybrid_cluster().on_prem
+        with pytest.raises(KeyError):
+            dc.capacity("gpus")
+
+
+class TestHybridCluster:
+    def test_default_cluster_has_two_locations(self):
+        cluster = default_hybrid_cluster()
+        assert cluster.location_ids == [ON_PREM, CLOUD]
+        assert not cluster.on_prem.elastic
+        assert cluster.cloud.elastic
+
+    def test_rejects_duplicate_location_ids(self):
+        spec = NodeSpec("n", 1_000, 1_024)
+        dcs = [
+            Datacenter("a", 0, spec, node_count=1),
+            Datacenter("b", 0, spec, node_count=1),
+        ]
+        with pytest.raises(ValueError):
+            HybridCluster(dcs)
+
+    def test_unknown_location(self):
+        with pytest.raises(KeyError):
+            default_hybrid_cluster().datacenter(7)
+
+    def test_on_prem_capacity_accessor(self):
+        cluster = default_hybrid_cluster(on_prem_nodes=10, on_prem_cpu_cores=20)
+        assert cluster.on_prem_capacity("cpu") == 200_000
+
+
+class TestNetworkModel:
+    def test_link_spec_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            LinkSpec(1.0, 0.0)
+
+    def test_transfer_time_includes_serialization(self):
+        link = LinkSpec(latency_ms=10.0, bandwidth_mbps=8.0)  # 1000 bytes/ms, RTT 10ms
+        assert link.transfer_time_ms(1_000.0) == pytest.approx(5.0 + 1.0)
+
+    def test_default_model_matches_paper_measurements(self):
+        network = default_network_model()
+        assert network.latency_ms(ON_PREM, ON_PREM) == pytest.approx(0.168)
+        assert network.latency_ms(ON_PREM, CLOUD) == pytest.approx(23.015)
+        assert network.bandwidth_mbps(ON_PREM, CLOUD) == pytest.approx(921.0)
+
+    def test_symmetry(self):
+        network = default_network_model()
+        assert network.latency_ms(CLOUD, ON_PREM) == network.latency_ms(ON_PREM, CLOUD)
+
+    def test_round_trip(self):
+        network = default_network_model()
+        rt = network.round_trip_ms(ON_PREM, CLOUD, 1_000.0, 2_000.0)
+        # One full RTT (request half + response half) plus serialization of both payloads.
+        assert rt == pytest.approx(23.015 + 3_000.0 / (921.0 * 125.0), abs=0.1)
+
+    def test_extra_delay_positive_when_separating(self):
+        network = default_network_model()
+        delta = network.extra_delay_ms((ON_PREM, ON_PREM), (ON_PREM, CLOUD), 500.0, 500.0)
+        assert delta > 22.0
+
+    def test_extra_delay_clamped_at_zero_when_collocating(self):
+        network = default_network_model()
+        delta = network.extra_delay_ms((ON_PREM, CLOUD), (CLOUD, CLOUD), 500.0, 500.0)
+        assert delta == 0.0
+
+    def test_missing_link_raises(self):
+        network = NetworkModel({(0, 0): LinkSpec(1.0, 100.0)})
+        with pytest.raises(KeyError):
+            network.link(0, 1)
+
+
+class TestMigrationPlan:
+    COMPONENTS = ["A", "B", "C", "D"]
+
+    def test_all_on_prem_and_all_cloud(self):
+        plan = MigrationPlan.all_on_prem(self.COMPONENTS)
+        assert plan.offload_count() == 0
+        plan = MigrationPlan.all_cloud(self.COMPONENTS)
+        assert plan.offload_count() == 4
+
+    def test_from_offloaded(self):
+        plan = MigrationPlan.from_offloaded(self.COMPONENTS, ["B", "D"])
+        assert sorted(plan.offloaded()) == ["B", "D"]
+        assert sorted(plan.on_prem()) == ["A", "C"]
+
+    def test_from_offloaded_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            MigrationPlan.from_offloaded(self.COMPONENTS, ["Z"])
+
+    def test_vector_round_trip(self):
+        plan = MigrationPlan.from_vector(self.COMPONENTS, [0, 1, 0, 1])
+        assert plan.to_vector() == [0, 1, 0, 1]
+        assert MigrationPlan.from_vector(self.COMPONENTS, plan.to_vector()) == plan
+
+    def test_vector_length_mismatch(self):
+        with pytest.raises(ValueError):
+            MigrationPlan.from_vector(self.COMPONENTS, [0, 1])
+
+    def test_mapping_interface(self):
+        plan = MigrationPlan.from_offloaded(self.COMPONENTS, ["A"])
+        assert plan["A"] == CLOUD
+        assert plan["B"] == ON_PREM
+        assert len(plan) == 4
+        assert set(plan) == set(self.COMPONENTS)
+        with pytest.raises(KeyError):
+            plan["Z"]
+
+    def test_is_cross_location(self):
+        plan = MigrationPlan.from_offloaded(self.COMPONENTS, ["A"])
+        assert plan.is_cross_location("A", "B")
+        assert not plan.is_cross_location("B", "C")
+
+    def test_moved_components(self):
+        baseline = MigrationPlan.all_on_prem(self.COMPONENTS)
+        plan = MigrationPlan.from_offloaded(self.COMPONENTS, ["C"])
+        assert plan.moved_components(baseline) == ["C"]
+
+    def test_with_location_returns_new_plan(self):
+        plan = MigrationPlan.all_on_prem(self.COMPONENTS)
+        moved = plan.with_location("A", CLOUD)
+        assert plan["A"] == ON_PREM
+        assert moved["A"] == CLOUD
+
+    def test_with_pinned(self):
+        plan = MigrationPlan.all_cloud(self.COMPONENTS)
+        pinned = plan.with_pinned({"A": ON_PREM})
+        assert pinned["A"] == ON_PREM
+        with pytest.raises(KeyError):
+            plan.with_pinned({"Z": ON_PREM})
+
+    def test_json_round_trip(self):
+        plan = MigrationPlan.from_offloaded(self.COMPONENTS, ["B"])
+        restored = MigrationPlan.from_json(plan.to_json(), order=self.COMPONENTS)
+        assert restored == plan
+        assert json.loads(plan.to_json())["B"] == CLOUD
+
+    def test_hash_and_equality(self):
+        plan_a = MigrationPlan.from_offloaded(self.COMPONENTS, ["B"])
+        plan_b = MigrationPlan.from_offloaded(self.COMPONENTS, ["B"])
+        assert plan_a == plan_b
+        assert hash(plan_a) == hash(plan_b)
+        assert plan_a != MigrationPlan.all_on_prem(self.COMPONENTS)
+
+    def test_components_at(self):
+        plan = MigrationPlan.from_offloaded(self.COMPONENTS, ["B", "C"])
+        assert plan.components_at(CLOUD) == ["B", "C"]
+
+
+class TestAutoscalers:
+    def test_autoscaler_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(cpu_headroom=1.5)
+
+    def test_nodes_for_zero_demand(self):
+        scaler = ClusterAutoscaler(NodeSpec("n", 2_000, 8_192))
+        assert scaler.nodes_for(0.0, 0.0) == 0
+
+    def test_nodes_for_cpu_bound(self):
+        scaler = ClusterAutoscaler(NodeSpec("n", 2_000, 8_192), AutoscalerConfig(0.2, 0.2))
+        # (1.2 * 3000) / 2000 = 1.8 -> 2 nodes
+        assert scaler.nodes_for(3_000.0, 100.0) == 2
+
+    def test_nodes_for_memory_bound(self):
+        scaler = ClusterAutoscaler(NodeSpec("n", 2_000, 1_000), AutoscalerConfig(0.2, 0.2))
+        assert scaler.nodes_for(100.0, 5_000.0) == 6
+
+    def test_node_series_alignment(self):
+        scaler = ClusterAutoscaler(NodeSpec("n", 2_000, 8_192))
+        with pytest.raises(ValueError):
+            scaler.node_series([1.0], [1.0, 2.0])
+        assert scaler.node_series([0.0, 2_000.0], [0.0, 10.0]) == [0, 2]
+
+    def test_storage_initial_capacity(self):
+        scaler = StorageAutoscaler()
+        assert scaler.initial_capacity_gb(50.0) == 100.0
+        with pytest.raises(ValueError):
+            scaler.initial_capacity_gb(-1.0)
+
+    def test_storage_capacity_never_shrinks_and_grows_on_pressure(self):
+        scaler = StorageAutoscaler(AutoscalerConfig(storage_headroom=0.2))
+        series = scaler.capacity_series([10.0, 85.0, 90.0, 50.0], migrated_data_gb=50.0)
+        assert series[0] == 100.0
+        assert series[1] >= 100.0
+        assert all(b >= a for a, b in zip(series, series[1:])) or series[-1] >= 100.0
+
+    def test_storage_rejects_negative_usage(self):
+        scaler = StorageAutoscaler()
+        with pytest.raises(ValueError):
+            scaler.capacity_series([-1.0], 10.0)

@@ -1,0 +1,151 @@
+"""End-to-end integration tests: the full Atlas loop on the social network."""
+
+import pytest
+
+from repro import Atlas, MigrationPreferences
+from repro.cluster import ON_PREM, MigrationPlan
+from repro.optimizer import GAConfig
+from repro.recommend import AtlasConfig
+from repro.simulator import simulate_workload
+from repro.workload import WorkloadGenerator, default_scenario
+
+
+GA = GAConfig(
+    population_size=24,
+    offspring_per_generation=12,
+    evaluation_budget=400,
+    immigrants_per_generation=4,
+    local_search_period=4,
+    train_iterations=20,
+    train_batch_size=2,
+    train_pairs=12,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def social_atlas(social_learning_result):
+    app, result = social_learning_result
+    atlas = Atlas(
+        app,
+        MigrationPreferences(),
+        config=AtlasConfig(traces_per_api=10, ga=GA),
+    )
+    atlas.learn(result.telemetry)
+    peak = atlas.knowledge.estimator.predict_scaled(5.0).peak(
+        "cpu_millicores", app.component_names
+    )
+    atlas.preferences = MigrationPreferences.pin_on_prem(
+        ["UserMongoDB", "PostStorageMongoDB", "MediaMongoDB"],
+        onprem_limits={"cpu_millicores": 0.8 * peak},
+    )
+    return app, result, atlas
+
+
+class TestLearningOnSocialNetwork:
+    def test_all_nine_apis_profiled(self, social_atlas):
+        app, _result, atlas = social_atlas
+        assert set(atlas.knowledge.api_profiles) == set(app.api_names)
+
+    def test_footprint_accuracy_against_model(self, social_atlas):
+        app, _result, atlas = social_atlas
+        reference = {}
+        for api in app.apis:
+            reference[api.name] = {
+                (src, dst): (node.payload.request_bytes, node.payload.response_bytes)
+                for src, dst, node, _m in api.edges()
+            }
+        accuracy = atlas.knowledge.footprint.accuracy_against(reference)
+        assert len(accuracy) == 9
+        assert sum(accuracy.values()) / len(accuracy) > 70.0
+
+    def test_compose_post_background_components_detected(self, social_atlas):
+        _app, _result, atlas = social_atlas
+        profile = atlas.knowledge.api_profiles["/composePost"]
+        assert "WriteHomeTimelineService" in profile.background_components()
+
+
+class TestRecommendationOnSocialNetwork:
+    @pytest.fixture(scope="class")
+    def recommendation(self, social_atlas):
+        _app, _result, atlas = social_atlas
+        return atlas.recommend(expected_scale=5.0)
+
+    def test_produces_feasible_front(self, social_atlas, recommendation):
+        app, _result, atlas = social_atlas
+        assert recommendation.plans
+        for quality in recommendation.plans:
+            assert quality.feasible
+            for pinned in atlas.preferences.pinned_placement:
+                assert quality.plan[pinned] == ON_PREM
+
+    def test_performance_plan_beats_naive_full_offload_estimate(self, social_atlas, recommendation):
+        app, _result, atlas = social_atlas
+        evaluator = recommendation.evaluator
+        perf_plan = recommendation.performance_optimized()
+        movable_cloud = MigrationPlan.all_cloud(app.component_names).with_pinned(
+            atlas.preferences.pinned_placement
+        )
+        full_offload = evaluator.evaluate(movable_cloud)
+        assert perf_plan.perf <= full_offload.perf + 1e-9
+
+    def test_estimated_latency_matches_measured_after_migration(self, social_atlas, recommendation):
+        """Figure 18's claim: the delay-injection preview tracks the measured latency."""
+        app, result, atlas = social_atlas
+        plan = recommendation.performance_optimized().plan
+        preview = recommendation.latency_preview(plan)
+        scenario = default_scenario(app, base_rps=10.0, peak_rps=18.0, duration_ms=45_000.0)
+        requests = WorkloadGenerator(app, scenario, seed=11).generate(45_000.0)
+        measured = simulate_workload(app, requests, plan=plan, seed=11).mean_latencies()
+        checked = 0
+        for api, estimate in preview.items():
+            if api not in measured:
+                continue
+            checked += 1
+            assert estimate.estimated_mean_ms == pytest.approx(measured[api], rel=0.45, abs=8.0)
+        assert checked >= 5
+
+    def test_monitoring_detects_injected_drift(self, social_atlas, recommendation):
+        app, result, atlas = social_atlas
+        plan = recommendation.performance_optimized().plan
+        scenario = default_scenario(app, base_rps=10.0, peak_rps=18.0, duration_ms=45_000.0)
+        requests = WorkloadGenerator(app, scenario, seed=13).generate(45_000.0)
+        post_migration = simulate_workload(app, requests, plan=plan, seed=13)
+        detector = atlas.drift_detector(recommendation, plan, post_migration.api_latencies())
+        # Use the API whose post-migration estimate is tightest (the paper's premise is
+        # that the baseline approximation is reasonable, so drift stands out against it).
+        api = min(detector.apis, key=detector.baseline_divergence)
+        stable = post_migration.api_latencies()[api]
+        assert not detector.check(api, stable).drift_detected
+        drifted = [latency * 3.0 + 150.0 for latency in stable]
+        assert detector.check(api, drifted).drift_detected
+
+    def test_breach_detector_flags_exfiltration(self, social_atlas):
+        app, result, atlas = social_atlas
+        detector = atlas.breach_detector()
+        telemetry = result.telemetry
+        counts = {0: {api: 50.0 for api in app.api_names}}
+        pair = ("PostStorageService", "PostStorageMongoDB")
+        expected = detector.expected_traffic(counts[0]).get(pair, 0.0)
+        normal = {0: {pair: expected * 1.1}}
+        breach = {0: {pair: expected * 5.0 + 1e7}}
+        assert detector.scan(counts, normal) == []
+        assert detector.scan(counts, breach)
+
+
+class TestBudgetPersonalization:
+    def test_budget_constraint_filters_expensive_plans(self, social_atlas):
+        _app, _result, atlas = social_atlas
+        unconstrained = atlas.recommend(expected_scale=5.0)
+        cheapest = min(q.cost for q in unconstrained.plans)
+        most_expensive = max(q.cost for q in unconstrained.plans)
+        if most_expensive <= cheapest * 1.01:
+            pytest.skip("front is flat in cost; budget cannot discriminate")
+        budget = (cheapest + most_expensive) / 2.0
+        constrained = atlas.recommend(
+            expected_scale=5.0,
+            preferences=atlas.preferences.with_budget(budget),
+        )
+        assert constrained.plans
+        for quality in constrained.plans:
+            assert quality.cost <= budget + 1e-6

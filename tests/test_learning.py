@@ -1,0 +1,221 @@
+"""Tests for application learning: profiles, footprint learning, resource estimation."""
+
+import pytest
+
+from repro.apps import ExecutionMode
+from repro.learning import (
+    ApiProfiler,
+    ComponentProfiler,
+    FootprintLearner,
+    NetworkFootprint,
+    ResourceEstimator,
+    classify_background,
+    classify_sibling,
+)
+from repro.learning.footprint import EdgeFootprint
+from repro.telemetry import Span
+
+
+class TestWorkflowClassification:
+    def test_parallel_siblings_detected(self):
+        a = Span("t", "a", "root", "A", "op", 0.0, 10.0)
+        b = Span("t", "b", "root", "B", "op", 1.0, 10.0)
+        assert classify_sibling(a, b) is ExecutionMode.PARALLEL
+
+    def test_sequential_siblings_detected(self):
+        a = Span("t", "a", "root", "A", "op", 0.0, 5.0)
+        b = Span("t", "b", "root", "B", "op", 6.0, 5.0)
+        assert classify_sibling(a, b) is ExecutionMode.SEQUENTIAL
+
+    def test_background_child_detected(self):
+        parent = Span("t", "p", None, "P", "op", 0.0, 10.0)
+        child = Span("t", "c", "p", "C", "op", 8.0, 20.0)
+        inline = Span("t", "d", "p", "D", "op", 2.0, 3.0)
+        assert classify_background(child, parent)
+        assert not classify_background(inline, parent)
+
+
+class TestApiProfiler:
+    def test_profiles_all_apis(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        profiler = ApiProfiler(result.telemetry, stateful_components=app.stateful_components())
+        profiles = profiler.profile_all()
+        assert set(profiles) == {"/read", "/write"}
+
+    def test_profile_contents(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        profiler = ApiProfiler(result.telemetry, stateful_components=app.stateful_components())
+        profile = profiler.profile("/read")
+        assert profile.request_count > 0
+        assert set(profile.components) == app.components_of_api("/read")
+        assert profile.stateful_components == ["Database"]
+        assert profile.mean_latency_ms > 0
+        assert profile.p95_latency_ms >= profile.mean_latency_ms * 0.5
+        assert profile.uses_component("Cache")
+        assert not profile.uses_component("ServiceB")
+
+    def test_invocations_per_request(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        profile = ApiProfiler(result.telemetry).profile("/read")
+        assert profile.invocations_per_request[("Frontend", "ServiceA")] == pytest.approx(1.0)
+
+    def test_workflow_modes_recovered_from_timestamps(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        profile = ApiProfiler(result.telemetry).profile("/read")
+        assert profile.background_components() == {"Notifier"}
+        modes = {
+            (parent, child): mode
+            for (parent, child, _op), mode in profile.workflow_modes.items()
+        }
+        assert modes[("ServiceA", "Cache")] is ExecutionMode.PARALLEL
+        assert modes[("ServiceA", "Database")] is ExecutionMode.PARALLEL
+
+    def test_sample_traces_limited(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        profile = ApiProfiler(result.telemetry, traces_per_api=5).profile("/read")
+        assert len(profile.sample_traces) == 5
+
+    def test_unknown_api_raises(self, tiny_telemetry):
+        _app, result = tiny_telemetry
+        with pytest.raises(ValueError):
+            ApiProfiler(result.telemetry).profile("/ghost")
+
+    def test_latency_histogram(self, tiny_telemetry):
+        _app, result = tiny_telemetry
+        profile = ApiProfiler(result.telemetry).profile("/read")
+        edges, counts = profile.latency_histogram(bins=10)
+        assert len(edges) == 11
+        assert sum(counts) == profile.request_count
+
+
+class TestComponentProfiler:
+    def test_profiles_reflect_activity(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        profiler = ComponentProfiler(result.telemetry, app)
+        profiles = profiler.profile_all()
+        assert set(profiles) == set(app.component_names)
+        frontend = profiles["Frontend"]
+        assert frontend.mean_cpu_millicores > 0
+        assert frontend.mean_request_rate > 0
+        assert not frontend.stateful
+        assert profiles["Database"].stateful
+        assert profiles["Database"].storage_gb == 10.0
+
+    def test_rankings(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        profiler = ComponentProfiler(result.telemetry, app)
+        by_busy = profiler.ranked_by_busyness()
+        assert by_busy[0].busyness >= by_busy[-1].busyness
+        by_traffic = profiler.ranked_by_traffic()
+        assert by_traffic[0].total_traffic_bytes >= by_traffic[-1].total_traffic_bytes
+
+    def test_apis_attributed(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        profile = ComponentProfiler(result.telemetry, app).profile("ServiceB")
+        assert profile.apis == ["/write"]
+
+
+class TestFootprintLearner:
+    def test_recovers_payload_sizes(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        footprint = FootprintLearner(result.telemetry).learn()
+        edge = app.api("/write").root.calls[0].node  # ServiceB
+        db_edge = edge.calls[0].node  # Database Insert
+        learned_req = footprint.request_bytes("/write", "ServiceB", "Database")
+        assert learned_req == pytest.approx(db_edge.payload.request_bytes, rel=0.2)
+
+    def test_footprint_zero_for_unused_pair(self, tiny_telemetry):
+        _app, result = tiny_telemetry
+        footprint = FootprintLearner(result.telemetry).learn()
+        assert footprint.request_bytes("/write", "ServiceA", "Cache") == 0.0
+
+    def test_round_trip_bytes(self, tiny_telemetry):
+        _app, result = tiny_telemetry
+        footprint = FootprintLearner(result.telemetry).learn()
+        total = footprint.round_trip_bytes("/read", "ServiceA", "Database")
+        assert total == pytest.approx(
+            footprint.request_bytes("/read", "ServiceA", "Database")
+            + footprint.response_bytes("/read", "ServiceA", "Database")
+        )
+
+    def test_accuracy_against_ground_truth_high(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        footprint = FootprintLearner(result.telemetry).learn()
+        reference = {}
+        for api in app.apis:
+            reference[api.name] = {
+                (src, dst): (node.payload.request_bytes, node.payload.response_bytes)
+                for src, dst, node, _m in api.edges()
+            }
+        accuracy = footprint.accuracy_against(reference)
+        assert all(acc > 70.0 for acc in accuracy.values())
+
+    def test_expected_pair_traffic(self):
+        footprint = NetworkFootprint(
+            [EdgeFootprint("/a", "X", "Y", 100.0, 50.0), EdgeFootprint("/b", "X", "Y", 10.0, 5.0)]
+        )
+        traffic = footprint.expected_pair_traffic({"/a": 2, "/b": 10})
+        assert traffic[("X", "Y")] == pytest.approx(2 * 150 + 10 * 15)
+
+    def test_requires_enough_windows(self, tiny_telemetry):
+        _app, result = tiny_telemetry
+        with pytest.raises(ValueError):
+            FootprintLearner(result.telemetry, min_windows=1_000).learn()
+
+    def test_edges_of_and_pairs(self, tiny_telemetry):
+        _app, result = tiny_telemetry
+        footprint = FootprintLearner(result.telemetry).learn()
+        assert ("Frontend", "ServiceA") in footprint.pairs()
+        assert ("Frontend", "ServiceA") in footprint.edges_of("/read")
+
+
+class TestResourceEstimator:
+    def test_requires_fit_before_predict(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        estimator = ResourceEstimator(app, result.telemetry)
+        with pytest.raises(RuntimeError):
+            estimator.predict_scaled(1.0)
+
+    def test_prediction_scales_with_traffic(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        estimator = ResourceEstimator(app, result.telemetry).fit()
+        one = estimator.predict_scaled(1.0)
+        five = estimator.predict_scaled(5.0)
+        names = app.component_names
+        assert five.peak("cpu_millicores", names) > one.peak("cpu_millicores", names)
+
+    def test_attribution_maps_apis_to_components(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        estimator = ResourceEstimator(app, result.telemetry).fit()
+        attribution = estimator.attribution("cpu_millicores", "ServiceB")
+        # ServiceB only serves /write, so /write should carry (almost all of) the weight.
+        assert attribution["/write"] >= attribution["/read"]
+
+    def test_predict_with_explicit_rates(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        estimator = ResourceEstimator(app, result.telemetry).fit()
+        estimate = estimator.predict({"/read": [10.0, 20.0], "/write": [5.0, 5.0]})
+        assert estimate.steps == 2
+        series = estimate.component_series("cpu_millicores", "Frontend")
+        assert len(series) == 2 and series[1] >= series[0]
+
+    def test_storage_usage_constant(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        estimator = ResourceEstimator(app, result.telemetry).fit()
+        estimate = estimator.predict_scaled(2.0)
+        storage = estimate.component_series("storage_gb", "Database")
+        assert all(v == pytest.approx(10.0) for v in storage)
+
+    def test_aggregate_series_subsets(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        estimator = ResourceEstimator(app, result.telemetry).fit()
+        estimate = estimator.predict_scaled(1.0)
+        total = estimate.peak("cpu_millicores", app.component_names)
+        partial = estimate.peak("cpu_millicores", ["Frontend"])
+        assert partial <= total
+
+    def test_rejects_empty_rates(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        estimator = ResourceEstimator(app, result.telemetry).fit()
+        with pytest.raises(ValueError):
+            estimator.predict({})

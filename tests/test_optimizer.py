@@ -1,0 +1,253 @@
+"""Tests for the plan search: Pareto tools, NSGA-II machinery, DRL agent, Atlas GA, baselines."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import CLOUD, ON_PREM, MigrationPlan
+from repro.optimizer import (
+    AdamOptimizer,
+    CrossoverAgent,
+    GAConfig,
+    MLP,
+    bitflip_mutation,
+    crowding_distance,
+    dominates,
+    hypervolume_2d,
+    non_dominated_sort,
+    pareto_front,
+    rank_population,
+    survival_selection,
+    tournament_pairs,
+    uniform_crossover,
+)
+from repro.optimizer.atlas_ga import affinity_seed_vectors, penalized_objectives
+from repro.quality.evaluator import PlanQuality
+
+
+class TestParetoTools:
+    def test_dominates_basic(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (1, 3))
+        assert not dominates((1, 3), (2, 1))
+        assert not dominates((1, 1), (1, 1))
+
+    def test_dominates_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+    def test_pareto_front_filters_dominated(self):
+        points = [(1, 5), (2, 2), (5, 1), (3, 3), (6, 6)]
+        front = pareto_front(points, key=lambda p: p)
+        assert set(front) == {(1, 5), (2, 2), (5, 1)}
+
+    def test_pareto_front_deduplicates(self):
+        points = [(1, 1), (1, 1), (2, 2)]
+        assert pareto_front(points, key=lambda p: p) == [(1, 1)]
+
+    def test_non_dominated_sort_layers(self):
+        objectives = [(1, 1), (2, 2), (3, 3), (1, 3), (3, 1)]
+        fronts = non_dominated_sort(objectives)
+        assert 0 in fronts[0]
+        assert set(fronts[0]) == {0}
+        assert all(i in fronts[1] for i in (1, 3, 4))
+
+    def test_crowding_distance_boundaries_infinite(self):
+        objectives = [(0.0, 3.0), (1.0, 2.0), (2.0, 1.0), (3.0, 0.0)]
+        distances = crowding_distance(objectives)
+        assert distances[0] == float("inf")
+        assert distances[3] == float("inf")
+        assert all(d > 0 for d in distances)
+
+    def test_crowding_distance_small_fronts(self):
+        assert crowding_distance([(1, 1)]) == [float("inf")]
+        assert crowding_distance([]) == []
+
+    def test_hypervolume_monotone_in_front_quality(self):
+        reference = (10.0, 10.0)
+        weak = [(8.0, 8.0)]
+        strong = [(2.0, 8.0), (8.0, 2.0), (4.0, 4.0)]
+        assert hypervolume_2d(strong, reference) > hypervolume_2d(weak, reference)
+        assert hypervolume_2d([], reference) == 0.0
+
+
+class TestNSGA2Machinery:
+    def test_rank_population_assigns_ranks(self):
+        objectives = [(1, 1), (2, 2), (1, 3), (3, 1)]
+        ranked = rank_population(objectives)
+        by_index = {r.index: r for r in ranked}
+        assert by_index[0].rank == 0
+        assert by_index[1].rank == 1
+
+    def test_crowded_comparison(self):
+        objectives = [(1, 1), (2, 2)]
+        ranked = rank_population(objectives)
+        better = next(r for r in ranked if r.index == 0)
+        worse = next(r for r in ranked if r.index == 1)
+        assert better.beats(worse)
+
+    def test_tournament_pairs_prefer_distinct_parents(self):
+        rng = np.random.default_rng(0)
+        ranked = rank_population([(1, 1), (2, 2), (3, 3), (4, 4)])
+        pairs = tournament_pairs(ranked, 10, rng)
+        assert len(pairs) == 10
+        assert any(a != b for a, b in pairs)
+
+    def test_survival_selection_is_elitist(self):
+        objectives = [(1, 1), (5, 5), (2, 2), (4, 4), (3, 3)]
+        survivors = survival_selection(objectives, 2)
+        assert 0 in survivors and len(survivors) == 2
+
+    def test_survival_selection_uses_crowding_within_front(self):
+        # One big front; selection should keep the extremes.
+        objectives = [(0, 4), (1, 3), (2, 2), (3, 1), (4, 0)]
+        survivors = survival_selection(objectives, 3)
+        assert 0 in survivors and 4 in survivors
+
+    def test_uniform_crossover_genes_come_from_parents(self):
+        rng = np.random.default_rng(1)
+        child = uniform_crossover([0] * 10, [1] * 10, rng)
+        assert all(g in (0, 1) for g in child)
+        assert len(child) == 10
+
+    def test_uniform_crossover_length_mismatch(self):
+        with pytest.raises(ValueError):
+            uniform_crossover([0], [0, 1], np.random.default_rng(0))
+
+    def test_bitflip_mutation_rate_extremes(self):
+        rng = np.random.default_rng(2)
+        assert bitflip_mutation([0, 1, 0], rng, rate=0.0) == [0, 1, 0]
+        flipped = bitflip_mutation([0, 0, 0, 0], rng, rate=1.0)
+        assert flipped == [1, 1, 1, 1]
+        with pytest.raises(ValueError):
+            bitflip_mutation([0], rng, rate=2.0)
+
+
+class TestMLPAndAdam:
+    def test_forward_shapes(self):
+        net = MLP(4, [8], 3, head="sigmoid", seed=0)
+        out = net(np.zeros(4))
+        assert out.shape == (1, 3)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_linear_head_unbounded(self):
+        net = MLP(2, [4], 1, head="linear", seed=0)
+        out = net(np.array([10.0, -10.0]))
+        assert out.shape == (1, 1)
+
+    def test_invalid_head_rejected(self):
+        with pytest.raises(ValueError):
+            MLP(2, [4], 1, head="tanh")
+
+    def test_training_reduces_regression_loss(self):
+        rng = np.random.default_rng(0)
+        net = MLP(3, [16, 16], 1, head="linear", seed=1)
+        opt = AdamOptimizer(learning_rate=1e-2)
+        inputs = rng.normal(size=(64, 3))
+        targets = (inputs.sum(axis=1, keepdims=True)) * 0.5
+
+        def loss():
+            pred, _ = net.forward(inputs)
+            return float(np.mean((pred - targets) ** 2))
+
+        before = loss()
+        for _ in range(200):
+            pred, cache = net.forward(inputs, keep_cache=True)
+            grad = 2.0 * (pred - targets) / len(inputs)
+            grads = net.backward(cache, grad)
+            net.apply_gradients(grads, opt)
+        assert loss() < before * 0.2
+
+
+class TestCrossoverAgent:
+    def test_child_respects_pins(self):
+        agent = CrossoverAgent(n_components=6, hidden_dims=(16,), pinned={0: ON_PREM, 5: CLOUD}, seed=0)
+        rng = np.random.default_rng(0)
+        child = agent.crossover([0] * 6, [1] * 6, rng)
+        assert child[0] == ON_PREM and child[5] == CLOUD
+        assert len(child) == 6
+
+    def test_probabilities_shape_and_range(self):
+        agent = CrossoverAgent(n_components=5, hidden_dims=(8,), seed=1)
+        probs = agent.child_probabilities([0] * 5, [1] * 5)
+        assert probs.shape == (5,)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_parent_length_validation(self):
+        agent = CrossoverAgent(n_components=4, hidden_dims=(8,), seed=1)
+        with pytest.raises(ValueError):
+            agent.state([0, 1], [0, 1, 0, 1])
+
+    def test_training_learns_simple_reward(self):
+        """Reward favours offloading everything: the agent should learn to emit ones."""
+        agent = CrossoverAgent(n_components=6, hidden_dims=(16, 16), learning_rate=5e-3, seed=2)
+        pairs = [([0] * 6, [1] * 6), ([1] * 6, [0] * 6)]
+
+        def reward(child, _pa, _pb):
+            return float(sum(child)) - 3.0
+
+        history = agent.train(pairs, reward, iterations=150, batch_size=4)
+        assert len(history.mean_rewards) == 150
+        early = np.mean(history.mean_rewards[:20])
+        late = np.mean(history.mean_rewards[-20:])
+        assert late > early
+        probs = agent.child_probabilities([0] * 6, [1] * 6)
+        assert probs.mean() > 0.6
+
+    def test_smoothed_rewards_length(self):
+        agent = CrossoverAgent(n_components=3, hidden_dims=(8,), seed=3)
+        history = agent.train([([0, 0, 0], [1, 1, 1])], lambda c, a, b: 1.0, iterations=10, batch_size=1)
+        assert len(history.smoothed_rewards()) == 10
+
+
+def _quality(vector, perf, avail, cost, feasible=True):
+    plan = MigrationPlan.from_vector([f"c{i}" for i in range(len(vector))], vector)
+    return PlanQuality(plan=plan, perf=perf, avail=avail, cost=cost, feasible=feasible,
+                       violations=() if feasible else ("v",))
+
+
+class TestAtlasGAHelpers:
+    def test_penalized_objectives(self):
+        ok = _quality([0, 1], 1.0, 2.0, 3.0, feasible=True)
+        bad = _quality([1, 0], 1.0, 2.0, 3.0, feasible=False)
+        assert penalized_objectives(ok) == (1.0, 2.0, 3.0)
+        assert all(v > 1e5 for v in penalized_objectives(bad))
+
+    def test_affinity_seed_vectors_reach_feasibility(self):
+        components = ["A", "B", "C", "D"]
+        traffic = {("A", "B"): 1000.0, ("B", "C"): 10.0, ("C", "D"): 500.0}
+
+        def feasible(plan):
+            return plan.offload_count() >= 2
+
+        seeds = affinity_seed_vectors(
+            components, pinned={"A": ON_PREM}, pair_traffic=traffic,
+            is_feasible=feasible, rng=np.random.default_rng(0), count=3,
+        )
+        assert len(seeds) == 3
+        for seed in seeds:
+            assert seed[0] == ON_PREM  # pin respected
+            assert sum(seed) >= 2  # feasible
+
+    def test_affinity_seeds_prefer_cutting_light_edges(self):
+        components = ["A", "B", "C"]
+        traffic = {("A", "B"): 10_000.0, ("B", "C"): 1.0}
+
+        def feasible(plan):
+            return plan.offload_count() >= 1
+
+        seeds = affinity_seed_vectors(
+            components, pinned={}, pair_traffic=traffic,
+            is_feasible=feasible, rng=np.random.default_rng(0), count=1, noise=0.0,
+        )
+        # Offloading C cuts only the 1-byte edge; A/B stay together.
+        assert seeds[0] == [ON_PREM, ON_PREM, CLOUD]
+
+
+class TestGAConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GAConfig(population_size=2)
+        with pytest.raises(ValueError):
+            GAConfig(crossover="magic")
+        with pytest.raises(ValueError):
+            GAConfig(population_size=100, evaluation_budget=50)

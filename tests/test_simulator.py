@@ -1,0 +1,141 @@
+"""Tests for the request execution simulator (the ground-truth substrate)."""
+
+import pytest
+
+from repro.cluster import CLOUD, MigrationPlan, default_hybrid_cluster, default_network_model
+from repro.simulator import (
+    ContentionModel,
+    SimulationEngine,
+    component_operation_counts,
+    simulate_workload,
+)
+from repro.workload import ApiRequest, WorkloadGenerator, default_scenario
+
+
+def single_request(api="/read", time_ms=0.0, scale=1.0):
+    return ApiRequest(time_ms=time_ms, api=api, payload_scale=scale)
+
+
+class TestSimulationEngine:
+    def test_trace_structure_matches_call_tree(self, tiny_app, tiny_plan_all_onprem, default_network):
+        engine = SimulationEngine(tiny_app, tiny_plan_all_onprem, default_network, seed=1)
+        outcome = engine.execute(single_request("/read"))
+        trace = outcome.trace
+        assert trace.api == "/read"
+        assert len(trace.spans) == tiny_app.api("/read").span_count()
+        assert trace.root.component == "Frontend"
+        assert set(trace.components()) == tiny_app.components_of_api("/read")
+
+    def test_latency_close_to_nominal_on_single_site(self, tiny_app, tiny_plan_all_onprem, default_network):
+        engine = SimulationEngine(tiny_app, tiny_plan_all_onprem, default_network, seed=1)
+        latencies = [engine.execute(single_request("/read", t * 10.0)).latency_ms for t in range(30)]
+        nominal = tiny_app.api("/read").root.nominal_latency_ms()
+        mean = sum(latencies) / len(latencies)
+        # Intra-datacenter transfers add a little on top of pure compute.
+        assert nominal < mean < nominal + 6.0
+
+    def test_offloading_sequential_dependency_adds_latency(self, tiny_app, default_network):
+        on_prem = MigrationPlan.all_on_prem(tiny_app.component_names)
+        split = MigrationPlan.from_offloaded(tiny_app.component_names, ["Database"])
+        base = SimulationEngine(tiny_app, on_prem, default_network, seed=1)
+        moved = SimulationEngine(tiny_app, split, default_network, seed=1)
+        base_lat = [base.execute(single_request("/write", i * 10.0)).latency_ms for i in range(20)]
+        moved_lat = [moved.execute(single_request("/write", i * 10.0)).latency_ms for i in range(20)]
+        # One synchronous cross-datacenter invocation costs about one inter-DC RTT (23ms).
+        assert sum(moved_lat) / 20 > sum(base_lat) / 20 + 20.0
+
+    def test_offloading_background_component_has_no_latency_impact(self, tiny_app, default_network):
+        on_prem = MigrationPlan.all_on_prem(tiny_app.component_names)
+        split = MigrationPlan.from_offloaded(tiny_app.component_names, ["Notifier"])
+        base = SimulationEngine(tiny_app, on_prem, default_network, seed=1)
+        moved = SimulationEngine(tiny_app, split, default_network, seed=1)
+        base_lat = [base.execute(single_request("/read", i * 10.0)).latency_ms for i in range(30)]
+        moved_lat = [moved.execute(single_request("/read", i * 10.0)).latency_ms for i in range(30)]
+        assert abs(sum(moved_lat) - sum(base_lat)) / 30 < 2.0
+
+    def test_cross_dc_invocations_counted(self, tiny_app, default_network):
+        split = MigrationPlan.from_offloaded(tiny_app.component_names, ["Database"])
+        engine = SimulationEngine(tiny_app, split, default_network, seed=1)
+        outcome = engine.execute(single_request("/write"))
+        assert outcome.cross_dc_invocations >= 1
+
+    def test_whole_cloud_placement_has_no_cross_dc(self, tiny_app, default_network):
+        plan = MigrationPlan.all_cloud(tiny_app.component_names)
+        engine = SimulationEngine(tiny_app, plan, default_network, seed=1)
+        assert engine.execute(single_request("/read")).cross_dc_invocations == 0
+
+    def test_telemetry_recorded(self, tiny_app, tiny_plan_all_onprem, default_network):
+        engine = SimulationEngine(tiny_app, tiny_plan_all_onprem, default_network, seed=1)
+        engine.execute(single_request("/read"))
+        telemetry = engine.telemetry
+        assert len(telemetry.traces) == 1
+        assert ("Frontend", "ServiceA") in telemetry.observed_pairs()
+        assert telemetry.component_total("ServiceA", "requests") == 1.0
+
+    def test_payload_scale_inflates_mesh_bytes(self, tiny_app, tiny_plan_all_onprem, default_network):
+        engine = SimulationEngine(tiny_app, tiny_plan_all_onprem, default_network, seed=1)
+        engine.execute(single_request("/read", 0.0, scale=1.0))
+        small = engine.telemetry.mesh.total_bytes("ServiceA", "Database")
+        engine.execute(single_request("/read", 10_000.0, scale=3.0))
+        total = engine.telemetry.mesh.total_bytes("ServiceA", "Database")
+        assert total - small > small  # the scaled request moved more bytes
+
+    def test_plan_must_cover_all_components(self, tiny_app, default_network):
+        partial = MigrationPlan.all_on_prem(tiny_app.component_names[:-1])
+        with pytest.raises(ValueError):
+            SimulationEngine(tiny_app, partial, default_network)
+
+
+class TestContentionModel:
+    def test_no_slowdown_when_underloaded(self, tiny_app, tiny_plan_all_onprem, default_cluster):
+        requests = [single_request("/read", i * 100.0) for i in range(10)]
+        model = ContentionModel(tiny_app, tiny_plan_all_onprem, default_cluster, requests)
+        assert model(0, 0.0) == 1.0
+        assert model.peak_utilization_factor() == 1.0
+
+    def test_slowdown_when_capacity_tiny(self, tiny_app, tiny_plan_all_onprem):
+        cluster = default_hybrid_cluster(on_prem_nodes=1, on_prem_cpu_cores=0.05, on_prem_memory_gb=1)
+        requests = [single_request("/read", i * 5.0) for i in range(500)]
+        model = ContentionModel(tiny_app, tiny_plan_all_onprem, cluster, requests)
+        assert model.peak_utilization_factor() > 1.0
+
+    def test_cloud_never_slows_down(self, tiny_app, default_cluster):
+        plan = MigrationPlan.all_cloud(tiny_app.component_names)
+        requests = [single_request("/read", i * 5.0) for i in range(500)]
+        model = ContentionModel(tiny_app, plan, default_cluster, requests)
+        assert model(1, 0.0) == 1.0
+
+    def test_empty_request_list(self, tiny_app, tiny_plan_all_onprem, default_cluster):
+        model = ContentionModel(tiny_app, tiny_plan_all_onprem, default_cluster, [])
+        assert model(0, 123.0) == 1.0
+
+
+class TestSimulateWorkload:
+    def test_result_views(self, tiny_app):
+        scenario = default_scenario(tiny_app, base_rps=15, peak_rps=20, duration_ms=20_000)
+        requests = WorkloadGenerator(tiny_app, scenario, seed=4).generate(20_000)
+        result = simulate_workload(tiny_app, requests, seed=4)
+        assert result.request_count() == len(requests)
+        assert set(result.api_latencies()) <= {"/read", "/write"}
+        assert result.mean_latency("/read") > 0
+        assert result.latency_percentile("/read", 95) >= result.latency_percentile("/read", 50)
+        assert 0.0 <= result.failure_rate() <= 1.0
+        assert result.cross_dc_invocations() == 0
+
+    def test_unknown_api_raises(self, tiny_app):
+        requests = [single_request("/read")]
+        result = simulate_workload(tiny_app, requests, seed=1)
+        with pytest.raises(KeyError):
+            result.mean_latency("/write")
+
+    def test_idle_usage_added(self, tiny_app):
+        requests = [single_request("/read")]
+        result = simulate_workload(tiny_app, requests, seed=1)
+        # ServiceB serves no request but still reports idle CPU and memory.
+        assert result.telemetry.component_total("ServiceB", "cpu_millicores") > 0
+
+    def test_operation_counts(self, tiny_app):
+        counts = component_operation_counts(tiny_app)
+        assert counts["/read"]["Frontend"] == 1
+        assert counts["/read"]["Cache"] == 1
+        assert counts["/write"]["Database"] == 1
