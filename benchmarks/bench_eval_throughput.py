@@ -1,0 +1,89 @@
+"""Plan-evaluation throughput — batched compiled replay vs per-plan recursive replay.
+
+The DRL-guided GA visits up to 10,000 plans per recommendation, so evaluated-plans-
+per-second *is* Atlas's wall-clock cost.  This benchmark scores the same random plan
+sample on the social-network testbed twice: once through the per-plan recursive
+``DelayInjector`` path (``performance_engine="reference"``, ``evaluate`` plan by plan)
+and once through ``QualityEvaluator.evaluate_batch`` on the compiled engine (dedup →
+projection → one vectorized replay per API).  Both paths must agree exactly; the
+batched path must be at least 5x faster.
+"""
+
+import time
+
+import numpy as np
+
+from _shared import run_once, social_testbed
+
+from repro.analysis import format_table
+from repro.cluster import MigrationPlan
+
+#: Random candidate plans scored by both engines (distinct plans, like a GA sample).
+N_PLANS = 400
+
+
+def _random_plans(testbed, count: int, seed: int = 123):
+    rng = np.random.default_rng(seed)
+    components = testbed.application.component_names
+    pins = testbed.preferences.pinned_placement
+    plans = []
+    for _ in range(count):
+        offload_prob = rng.uniform(0.1, 0.9)
+        vector = (rng.random(len(components)) < offload_prob).astype(int)
+        plan = MigrationPlan.from_vector(components, [int(v) for v in vector])
+        plans.append(plan.with_pinned(pins) if pins else plan)
+    return plans
+
+
+def test_eval_throughput(benchmark):
+    testbed = social_testbed()
+    plans = _random_plans(testbed, N_PLANS)
+
+    def measure():
+        reference = testbed.atlas.build_evaluator(
+            expected_scale=testbed.expected_scale,
+            preferences=testbed.preferences,
+            performance_engine="reference",
+        )
+        batched = testbed.atlas.build_evaluator(
+            expected_scale=testbed.expected_scale,
+            preferences=testbed.preferences,
+            performance_engine="compiled",
+        )
+        start = time.perf_counter()
+        reference_qualities = [reference.evaluate(plan) for plan in plans]
+        reference_s = time.perf_counter() - start
+        start = time.perf_counter()
+        batched_qualities = batched.evaluate_batch(plans)
+        batched_s = time.perf_counter() - start
+        return {
+            "reference_s": reference_s,
+            "batched_s": batched_s,
+            "reference_objectives": [q.objectives() for q in reference_qualities],
+            "batched_objectives": [q.objectives() for q in batched_qualities],
+        }
+
+    result = run_once(benchmark, measure)
+    reference_rate = N_PLANS / result["reference_s"]
+    batched_rate = N_PLANS / result["batched_s"]
+    speedup = batched_rate / reference_rate
+    rows = [
+        {
+            "path": "per-plan recursive (DelayInjector)",
+            "plans": N_PLANS,
+            "seconds": round(result["reference_s"], 3),
+            "plans_per_s": round(reference_rate, 1),
+        },
+        {
+            "path": "batched compiled (evaluate_batch)",
+            "plans": N_PLANS,
+            "seconds": round(result["batched_s"], 3),
+            "plans_per_s": round(batched_rate, 1),
+        },
+    ]
+    print()
+    print(format_table(rows, title="Plan-evaluation throughput (social-network testbed)"))
+    print(f"speedup: {speedup:.1f}x")
+    # Both engines must produce identical objective vectors for every plan.
+    assert result["batched_objectives"] == result["reference_objectives"]
+    assert speedup >= 5.0

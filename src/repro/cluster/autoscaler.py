@@ -53,7 +53,9 @@ class ClusterAutoscaler:
         by_mem = math.ceil(
             (1.0 + self.config.memory_headroom) * memory_mb / self.node_spec.memory_mb
         )
-        return max(by_cpu, by_mem)
+        # Any non-zero demand needs at least one node: the quotient of a subnormal
+        # demand can underflow to 0.0, which would otherwise ceil to zero nodes.
+        return max(by_cpu, by_mem, 1)
 
     def node_series(
         self,

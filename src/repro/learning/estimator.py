@@ -39,6 +39,11 @@ class ResourceEstimate:
     step_ms: float
     usage: Dict[str, Dict[str, List[float]]]
     api_rates: Dict[str, List[float]] = field(default_factory=dict)
+    #: Lazily-built per-resource (component -> row, series matrix) view used to
+    #: aggregate subsets without re-walking python lists on every plan evaluation.
+    _matrices: Dict[str, Tuple[Dict[str, int], "np.ndarray"]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def steps(self) -> int:
@@ -50,18 +55,33 @@ class ResourceEstimate:
     def component_series(self, resource: str, component: str) -> List[float]:
         return list(self.usage.get(resource, {}).get(component, []))
 
+    def _matrix(self, resource: str) -> Tuple[Dict[str, int], "np.ndarray"]:
+        cached = self._matrices.get(resource)
+        if cached is None:
+            per_component = self.usage.get(resource, {})
+            rows = {component: i for i, component in enumerate(per_component)}
+            matrix = (
+                np.asarray(list(per_component.values()), dtype=np.float64)
+                if per_component
+                else np.zeros((0, self.steps), dtype=np.float64)
+            )
+            cached = (rows, matrix)
+            self._matrices[resource] = cached
+        return cached
+
     def aggregate_series(
         self, resource: str, components: Sequence[str]
     ) -> List[float]:
         """Sum of one resource over a component subset, per time step."""
-        steps = self.steps
+        rows, matrix = self._matrix(resource)
+        totals = np.zeros(matrix.shape[1] if matrix.size else self.steps, dtype=np.float64)
         selected = set(components)
-        totals = [0.0] * steps
-        for component, series in self.usage.get(resource, {}).items():
+        # Accumulate row by row (in storage order) so the per-step summation order is
+        # identical to the original python loop — bit-for-bit stable results.
+        for component, row in rows.items():
             if component in selected:
-                for i, value in enumerate(series):
-                    totals[i] += value
-        return totals
+                totals += matrix[row]
+        return totals.tolist()
 
     def peak(self, resource: str, components: Sequence[str]) -> float:
         series = self.aggregate_series(resource, components)

@@ -63,6 +63,17 @@ def affinity_seed_vectors(
     other candidate.
     """
     movable = [c for c in components if c not in pinned]
+    member = set(components)
+    # Per-component incident traffic (both directions, self-edges excluded): flipping c
+    # changes the cut by the incident weight toward same-side neighbours minus the
+    # incident weight toward cross-side ones, so candidate scoring is O(deg(c)) instead
+    # of a full O(E) recomputation per candidate flip.
+    incident: Dict[str, List[Tuple[str, float]]] = {c: [] for c in components}
+    for (src, dst), bytes_ in pair_traffic.items():
+        if src == dst or src not in member or dst not in member:
+            continue
+        incident[src].append((dst, bytes_))
+        incident[dst].append((src, bytes_))
     seeds: List[List[int]] = []
     for _ in range(count):
         assignment = {c: pinned.get(c, ON_PREM) for c in components}
@@ -75,6 +86,17 @@ def affinity_seed_vectors(
                 and assignment[src] != assignment[dst]
             )
 
+        def flip_delta(c: str) -> float:
+            side = assignment[c]
+            delta = 0.0
+            for neighbour, bytes_ in incident[c]:
+                if assignment[neighbour] == side:
+                    delta += bytes_
+                else:
+                    delta -= bytes_
+            return delta
+
+        current_cut = cut_traffic()
         guard = len(components) + 1
         plan = MigrationPlan(assignment, order=components)
         while not is_feasible(plan) and guard > 0:
@@ -82,13 +104,12 @@ def affinity_seed_vectors(
             candidates = [c for c in movable if assignment[c] == ON_PREM]
             if not candidates:
                 break
-            scored = []
-            for c in candidates:
-                assignment[c] = CLOUD
-                score = cut_traffic() * (1.0 + noise * rng.random())
-                assignment[c] = ON_PREM
-                scored.append((score, c))
+            scored = [
+                ((current_cut + flip_delta(c)) * (1.0 + noise * rng.random()), c)
+                for c in candidates
+            ]
             _score, chosen = min(scored)
+            current_cut += flip_delta(chosen)
             assignment[chosen] = CLOUD
             plan = MigrationPlan(assignment, order=components)
         # Keep flipping single components while it reduces the cut and stays feasible, so
@@ -96,13 +117,14 @@ def affinity_seed_vectors(
         # methods search); the GA then refines it under the API-centric objectives.
         for _ in range(2):
             improved = False
-            current = cut_traffic()
             for c in movable:
+                delta = flip_delta(c)
+                if delta >= 0.0:
+                    continue
                 assignment[c] = CLOUD if assignment[c] == ON_PREM else ON_PREM
                 candidate_plan = MigrationPlan(assignment, order=components)
-                candidate_cut = cut_traffic()
-                if candidate_cut < current and is_feasible(candidate_plan):
-                    current = candidate_cut
+                if is_feasible(candidate_plan):
+                    current_cut += delta
                     improved = True
                 else:
                     assignment[c] = CLOUD if assignment[c] == ON_PREM else ON_PREM
@@ -159,7 +181,13 @@ class GAConfig:
 
 @dataclass
 class SearchResult:
-    """Outcome of one recommendation run."""
+    """Outcome of one recommendation run.
+
+    ``all_evaluated`` holds every *distinct* plan the evaluator scored during the run
+    (including agent-training probes and local-search candidates — the full "plans
+    visited" accounting of the paper); ``final_population`` is just the surviving
+    population of the last generation.
+    """
 
     pareto: List[PlanQuality]
     generations: int
@@ -167,6 +195,7 @@ class SearchResult:
     training_history: Optional[TrainingHistory]
     wall_clock_s: float
     all_evaluated: List[PlanQuality] = field(default_factory=list)
+    final_population: List[PlanQuality] = field(default_factory=list)
 
     # -- plan selection shortcuts (Figures 12-14) ------------------------------------------
     def _best(self, index: int) -> PlanQuality:
@@ -232,9 +261,9 @@ class AtlasGA:
         parent_a: Sequence[int],
         parent_b: Sequence[int],
     ) -> float:
-        child = self.evaluator.evaluate(self._to_plan(child_vector))
-        qa = self.evaluator.evaluate(self._to_plan(parent_a))
-        qb = self.evaluator.evaluate(self._to_plan(parent_b))
+        child, qa, qb = self.evaluator.evaluate_batch(
+            [self._to_plan(child_vector), self._to_plan(parent_a), self._to_plan(parent_b)]
+        )
         improved = 0
         for child_value, a_value, b_value in zip(
             child.objectives(), qa.objectives(), qb.objectives()
@@ -336,16 +365,29 @@ class AtlasGA:
             vector, quality = min(feasible, key=lambda vq: vq[1].objectives()[objective_index])
             best_vector = list(vector)
             best_value = quality.objectives()[objective_index]
-            for candidate in self._move_candidates(vector):
-                if self.evaluator.evaluations >= self.config.evaluation_budget:
+            # Batch-evaluate the neighbourhood in chunks bounded by the remaining
+            # budget: each uncached plan costs exactly one evaluation, so a chunk of
+            # `remaining` candidates can never overshoot, and cache hits let the next
+            # chunk pick up the leftovers — the same candidates are visited as the
+            # sequential check-then-evaluate loop.
+            moves = self._move_candidates(vector)
+            position = 0
+            while position < len(moves):
+                remaining = self.config.evaluation_budget - self.evaluator.evaluations
+                if remaining <= 0:
                     break
-                candidate_quality = self.evaluator.evaluate(self._to_plan(candidate))
-                if (
-                    candidate_quality.feasible
-                    and candidate_quality.objectives()[objective_index] < best_value
-                ):
-                    best_vector = candidate
-                    best_value = candidate_quality.objectives()[objective_index]
+                chunk = moves[position : position + remaining]
+                position += len(chunk)
+                qualities_chunk = self.evaluator.evaluate_batch(
+                    [self._to_plan(candidate) for candidate in chunk]
+                )
+                for candidate, candidate_quality in zip(chunk, qualities_chunk):
+                    if (
+                        candidate_quality.feasible
+                        and candidate_quality.objectives()[objective_index] < best_value
+                    ):
+                        best_vector = candidate
+                        best_value = candidate_quality.objectives()[objective_index]
             if best_vector != list(vector):
                 improved.append(best_vector)
         return improved
@@ -362,9 +404,9 @@ class AtlasGA:
             self._random_vector()
             for _ in range(max(self.config.population_size - len(population), 0))
         ]
-        qualities: List[PlanQuality] = [
-            self.evaluator.evaluate(self._to_plan(v)) for v in population
-        ]
+        qualities: List[PlanQuality] = self.evaluator.evaluate_batch(
+            [self._to_plan(v) for v in population]
+        )
         generations = 0
         while (
             self.evaluator.evaluations < self.config.evaluation_budget
@@ -390,7 +432,9 @@ class AtlasGA:
                 and generations % self.config.local_search_period == 0
             ):
                 offspring.extend(self._elite_local_search(population, qualities))
-            offspring_quality = [self.evaluator.evaluate(self._to_plan(v)) for v in offspring]
+            offspring_quality = self.evaluator.evaluate_batch(
+                [self._to_plan(v) for v in offspring]
+            )
 
             combined = population + offspring
             combined_quality = qualities + offspring_quality
@@ -408,5 +452,6 @@ class AtlasGA:
             evaluations=self.evaluator.evaluations,
             training_history=history,
             wall_clock_s=time.perf_counter() - start,
-            all_evaluated=qualities,
+            all_evaluated=self.evaluator.evaluated_qualities(),
+            final_population=qualities,
         )

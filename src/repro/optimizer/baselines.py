@@ -310,13 +310,15 @@ class RandomSearchBaseline:
 
     def recommend(self) -> List[PlanQuality]:
         pins = self.context.evaluator.preferences.pinned_placement
-        feasible: List[PlanQuality] = []
+        feasible_plans: List[MigrationPlan] = []
         for _ in range(self.evaluation_budget):
             vector = (self._rng.random(len(self.context.components)) < self._rng.uniform(0.1, 0.9)).astype(int)
             plan = MigrationPlan.from_vector(self.context.components, [int(v) for v in vector])
             if pins:
                 plan = plan.with_pinned(pins)
-            if not self.context.feasible(plan):
-                continue
-            feasible.append(self.context.evaluator.evaluate(plan))
+            if self.context.feasible(plan):
+                feasible_plans.append(plan)
+        # One batched evaluation for the whole feasible sample: dedup + projection
+        # caching + vectorized replay in the evaluator instead of per-plan tree walks.
+        feasible = self.context.evaluator.evaluate_batch(feasible_plans)
         return pareto_front(feasible, key=lambda q: q.objectives())

@@ -1,12 +1,15 @@
 """Migration quality modeling: performance (delay injection), availability, cost."""
 
 from .availability import ApiAvailabilityModel, AvailabilityEstimate
+from .compiled import CompiledTraceSet, compile_traces
 from .cost import CloudCostModel, CostEstimate, PricingCatalog
 from .evaluator import PlanQuality, QualityEvaluator
 from .performance import ApiPerformanceModel, DelayInjector, PerformanceEstimate
 from .preferences import MigrationPreferences
 
 __all__ = [
+    "CompiledTraceSet",
+    "compile_traces",
     "DelayInjector",
     "ApiPerformanceModel",
     "PerformanceEstimate",

@@ -46,10 +46,17 @@ class ApiAvailabilityModel:
             api: set(components) for api, components in stateful_components_by_api.items()
         }
         self.baseline_plan = baseline_plan
+        self._apis = sorted(self._stateful)
+        # Projection axis per API: disruption depends only on the placements of the
+        # API's stateful components, so results are cached by that tuple.
+        self._projection_axis: Dict[str, List[str]] = {
+            api: sorted(components) for api, components in self._stateful.items()
+        }
+        self._disrupted_cache: Dict[Tuple[str, Tuple[int, ...]], bool] = {}
 
     @property
     def apis(self) -> List[str]:
-        return sorted(self._stateful)
+        return list(self._apis)
 
     def stateful_components_of(self, api: str) -> Set[str]:
         """``SC(A)`` — the stateful components the API touches."""
@@ -57,10 +64,15 @@ class ApiAvailabilityModel:
 
     def api_disrupted(self, api: str, plan: MigrationPlan) -> bool:
         """Whether migrating to ``plan`` disrupts the API (any stateful dependency moves)."""
-        for component in self._stateful.get(api, set()):
-            if plan[component] != self.baseline_plan[component]:
-                return True
-        return False
+        axis = self._projection_axis.get(api)
+        if not axis:
+            return False
+        key = (api, tuple(plan[c] for c in axis))
+        cached = self._disrupted_cache.get(key)
+        if cached is None:
+            cached = any(plan[c] != self.baseline_plan[c] for c in axis)
+            self._disrupted_cache[key] = cached
+        return cached
 
     def disrupted_apis(self, plan: MigrationPlan) -> List[str]:
         return [api for api in self.apis if self.api_disrupted(api, plan)]

@@ -110,6 +110,9 @@ class CloudCostModel:
         self.charge_cloud_egress_only = charge_cloud_egress_only
         self._cluster_autoscaler = ClusterAutoscaler(catalog.node_spec, catalog.autoscaler)
         self._storage_autoscaler = StorageAutoscaler(catalog.autoscaler)
+        # qcost is queried at least twice per candidate plan (objective + budget
+        # constraint) on the GA hot path; memoize it by plan.
+        self._qcost_cache: Dict[MigrationPlan, float] = {}
 
     # -- individual terms -----------------------------------------------------------------
     @property
@@ -176,7 +179,11 @@ class CloudCostModel:
     # -- combined --------------------------------------------------------------------------
     def qcost(self, plan: MigrationPlan) -> float:
         """Total cost in USD over the period of interest (Eq. 11)."""
-        return self.estimate_cost(plan).total_usd
+        cached = self._qcost_cache.get(plan)
+        if cached is None:
+            cached = self.estimate_cost(plan).total_usd
+            self._qcost_cache[plan] = cached
+        return cached
 
     def estimate_cost(self, plan: MigrationPlan) -> CostEstimate:
         compute, nodes = self.compute_cost(plan)

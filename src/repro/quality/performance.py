@@ -14,6 +14,28 @@ The cascade rules follow the paper:
   its original trigger gap;
 * background operations inherit the shift of their trigger point but never extend the
   root span, so delaying them does not change the API latency.
+
+**Compiled-replay architecture.**  Plan evaluation is the system's wall-clock cost (the
+GA previews up to 10,000 plans per recommendation), so this module is organized around
+three invariants:
+
+* **Compile once, replay many** — each API's sample traces are compiled once into flat
+  numpy arrays (:mod:`repro.quality.compiled`); injecting one plan's delays becomes a
+  few vectorized array passes over all of the API's traces simultaneously, and a batch
+  of plans replays as one ``(plans, edges)`` matrix.  The recursive
+  :class:`DelayInjector` is kept as the reference oracle (``engine="reference"``) and
+  the compiled engine is bitwise-identical to it, so either engine yields the same
+  fixed-seed search trajectory.
+* **Projection keys** — an API's latency depends only on the placements of the
+  components its traces touch, so per-API results are cached by that *projection* of
+  the plan: the thousands of GA plans that differ only in components an API never
+  touches hit the cache instead of replaying.  Edge delays are further keyed by the
+  cut-edge signature (the exact Δ map), which collapses distinct projections that
+  induce identical delays.
+* **Batched evaluation** — :meth:`ApiPerformanceModel.prime` resolves a whole
+  generation of plans at once: dedup → project → one vectorized replay per API for all
+  cache-missing delay signatures.  :class:`~repro.quality.evaluator.QualityEvaluator`
+  drives it from ``evaluate_batch``.
 """
 
 from __future__ import annotations
@@ -22,18 +44,30 @@ import statistics
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..cluster.network import NetworkModel
 from ..cluster.placement import MigrationPlan
 from ..learning.api_profile import classify_background, classify_sibling
 from ..learning.footprint import NetworkFootprint
 from ..apps.model import ExecutionMode
 from ..telemetry.tracing import Span, Trace
+from .compiled import CompiledTraceSet
 
 __all__ = ["DelayInjector", "ApiPerformanceModel", "PerformanceEstimate"]
 
+Edge = Tuple[str, str]
+#: Canonical cache key for one plan's per-edge delays: the cut-edge signature.
+DelaySignature = Tuple[Tuple[Edge, float], ...]
+
 
 class DelayInjector:
-    """Applies per-edge delays to one trace and recomputes all span timings."""
+    """Applies per-edge delays to one trace and recomputes all span timings.
+
+    This is the recursive reference implementation of the cascade rules; the compiled
+    engine (:mod:`repro.quality.compiled`) must match it bitwise and is validated
+    against it by the property-based equivalence tests.
+    """
 
     def __init__(self, trace: Trace) -> None:
         self.trace = trace
@@ -120,7 +154,13 @@ class PerformanceEstimate:
 
 
 class ApiPerformanceModel:
-    """Estimates per-API latency and the QPerf objective for any migration plan."""
+    """Estimates per-API latency and the QPerf objective for any migration plan.
+
+    ``engine`` selects how cache-missing delay signatures are replayed: ``"compiled"``
+    (default) uses the vectorized compiled trace sets, ``"reference"`` walks every
+    trace with the recursive :class:`DelayInjector`.  Both engines share the same
+    projection/signature caches and produce identical numbers.
+    """
 
     def __init__(
         self,
@@ -129,12 +169,16 @@ class ApiPerformanceModel:
         network: NetworkModel,
         baseline_plan: MigrationPlan,
         traces_per_api: int = 50,
+        engine: str = "compiled",
     ) -> None:
         if traces_per_api <= 0:
             raise ValueError("traces_per_api must be positive")
+        if engine not in ("compiled", "reference"):
+            raise ValueError("engine must be 'compiled' or 'reference'")
         self.footprint = footprint
         self.network = network
         self.baseline_plan = baseline_plan
+        self.engine = engine
         self._traces: Dict[str, List[Trace]] = {
             api: list(traces)[-traces_per_api:]
             for api, traces in traces_by_api.items()
@@ -147,24 +191,36 @@ class ApiPerformanceModel:
             for api, traces in self._traces.items()
         }
         # Invocation edges per API (unioned over sample traces).
-        self._edges: Dict[str, List[Tuple[str, str]]] = {}
+        self._edges: Dict[str, List[Edge]] = {}
+        # Components each API touches — the projection axis of the plan caches.
+        self._touched: Dict[str, List[str]] = {}
         for api, traces in self._traces.items():
             edges = set()
             for trace in traces:
                 edges.update(trace.invocation_edges())
             self._edges[api] = sorted(edges)
-        # Cache: (api, canonical delay key) -> list of injected latencies.
-        self._cache: Dict[Tuple[str, Tuple[Tuple[Tuple[str, str], float], ...]], List[float]] = {}
+            members = set()
+            for caller, callee in self._edges[api]:
+                members.add(caller)
+                members.add(callee)
+            self._touched[api] = sorted(members)
+        self._apis = sorted(self._traces)
+        # Compiled trace sets, built lazily on first replay of each API.
+        self._compiled: Dict[str, CompiledTraceSet] = {}
+        # Projection cache: (api, touched-component placements) -> per-edge Δ map.
+        self._delays_by_projection: Dict[Tuple[str, Tuple[int, ...]], Dict[Edge, float]] = {}
+        # Signature cache: (api, cut-edge signature) -> (latencies, mean latency).
+        self._by_signature: Dict[Tuple[str, DelaySignature], Tuple[List[float], float]] = {}
 
     # -- public API ------------------------------------------------------------------------
     @property
     def apis(self) -> List[str]:
-        return sorted(self._traces)
+        return list(self._apis)
 
     def baseline_latency_ms(self, api: str) -> float:
         return self._baseline_mean[api]
 
-    def invocation_edges(self) -> List[Tuple[str, str]]:
+    def invocation_edges(self) -> List[Edge]:
         """Union of (caller, callee) invocation edges over all profiled APIs."""
         edges = set()
         for api_edges in self._edges.values():
@@ -173,18 +229,26 @@ class ApiPerformanceModel:
 
     def api_components(self) -> Dict[str, List[str]]:
         """Components appearing in each API's traces (callers and callees)."""
-        result: Dict[str, List[str]] = {}
-        for api, edges in self._edges.items():
-            members = set()
-            for caller, callee in edges:
-                members.add(caller)
-                members.add(callee)
-            result[api] = sorted(members)
-        return result
+        return {api: list(members) for api, members in self._touched.items()}
 
-    def edge_delays(self, api: str, plan: MigrationPlan) -> Dict[Tuple[str, str], float]:
-        """Δ per invocation edge of one API under ``plan`` (Eq. 2)."""
-        delays: Dict[Tuple[str, str], float] = {}
+    # -- projection / caching ----------------------------------------------------------------
+    def projection_key(self, api: str, plan: MigrationPlan) -> Tuple[int, ...]:
+        """Placements of only the components this API touches — its plan projection."""
+        return tuple(plan[c] for c in self._touched[api])
+
+    def edge_delays(self, api: str, plan: MigrationPlan) -> Dict[Edge, float]:
+        """Δ per invocation edge of one API under ``plan`` (Eq. 2), projection-cached."""
+        if api not in self._traces:
+            return {}
+        key = (api, self.projection_key(api, plan))
+        cached = self._delays_by_projection.get(key)
+        if cached is None:
+            cached = self._compute_edge_delays(api, plan)
+            self._delays_by_projection[key] = cached
+        return dict(cached)
+
+    def _compute_edge_delays(self, api: str, plan: MigrationPlan) -> Dict[Edge, float]:
+        delays: Dict[Edge, float] = {}
         for caller, callee in self._edges.get(api, []):
             before = (self.baseline_plan[caller], self.baseline_plan[callee])
             after = (plan[caller], plan[callee])
@@ -197,45 +261,118 @@ class ApiPerformanceModel:
                 delays[(caller, callee)] = delta
         return delays
 
+    @staticmethod
+    def _signature(delays: Mapping[Edge, float]) -> DelaySignature:
+        return tuple(sorted(delays.items()))
+
+    def _compiled_set(self, api: str) -> CompiledTraceSet:
+        compiled = self._compiled.get(api)
+        if compiled is None:
+            compiled = CompiledTraceSet(self._traces[api], self._edges[api])
+            self._compiled[api] = compiled
+        return compiled
+
+    def _replay_reference(self, api: str, delays: Mapping[Edge, float]) -> List[float]:
+        return [
+            DelayInjector(trace).injected_latency_ms(delays) for trace in self._traces[api]
+        ]
+
+    def _store_signature(
+        self, api: str, signature: DelaySignature, latencies: List[float]
+    ) -> Tuple[List[float], float]:
+        entry = (latencies, float(statistics.fmean(latencies)))
+        self._by_signature[(api, signature)] = entry
+        return entry
+
+    def _resolve(self, api: str, plan: MigrationPlan) -> Tuple[List[float], float]:
+        """(latencies, mean) of one API under one plan, through both cache layers."""
+        delays = self.edge_delays(api, plan)
+        signature = self._signature(delays)
+        cached = self._by_signature.get((api, signature))
+        if cached is None:
+            if self.engine == "compiled":
+                latencies = self._compiled_set(api).latencies(delays)
+            else:
+                latencies = self._replay_reference(api, delays)
+            cached = self._store_signature(api, signature, latencies)
+        return cached
+
+    # -- batched evaluation --------------------------------------------------------------------
+    def prime(self, plans: Sequence[MigrationPlan]) -> None:
+        """Resolve a batch of plans in one pass: dedup → project → vectorized replay.
+
+        After priming, per-plan queries (:meth:`qperf`, :meth:`estimate`, ...) for the
+        same plans are pure cache hits.  With the reference engine this degrades to the
+        per-plan walk, preserving semantics.
+        """
+        if not plans:
+            return
+        for api in self._apis:
+            pending: Dict[DelaySignature, Dict[Edge, float]] = {}
+            seen_projections = set()
+            for plan in plans:
+                projection = self.projection_key(api, plan)
+                if projection in seen_projections:
+                    continue
+                seen_projections.add(projection)
+                delays = self.edge_delays(api, plan)
+                signature = self._signature(delays)
+                if (api, signature) in self._by_signature or signature in pending:
+                    continue
+                pending[signature] = delays
+            if not pending:
+                continue
+            if self.engine != "compiled":
+                for signature, delays in pending.items():
+                    self._store_signature(api, signature, self._replay_reference(api, delays))
+                continue
+            compiled = self._compiled_set(api)
+            signatures = list(pending)
+            rows = np.vstack([compiled.delta_row(pending[s]) for s in signatures])
+            matrix = compiled.replay_batch(rows)
+            for signature, row in zip(signatures, matrix):
+                self._store_signature(api, signature, [float(v) for v in row])
+
+    # -- estimates ------------------------------------------------------------------------
     def estimate_latencies(self, api: str, plan: MigrationPlan) -> List[float]:
         """Injected latency of every sample trace of one API under ``plan``."""
         if api not in self._traces:
             raise KeyError(f"no traces available for API {api!r}")
-        delays = self.edge_delays(api, plan)
-        key = (api, tuple(sorted((edge, round(d, 4)) for edge, d in delays.items())))
-        cached = self._cache.get(key)
-        if cached is not None:
-            return list(cached)
-        latencies = [
-            DelayInjector(trace).injected_latency_ms(delays) for trace in self._traces[api]
-        ]
-        self._cache[key] = latencies
+        latencies, _mean = self._resolve(api, plan)
         return list(latencies)
 
     def estimate(self, api: str, plan: MigrationPlan) -> PerformanceEstimate:
-        latencies = self.estimate_latencies(api, plan)
+        if api not in self._traces:
+            raise KeyError(f"no traces available for API {api!r}")
+        latencies, mean = self._resolve(api, plan)
         return PerformanceEstimate(
             api=api,
             baseline_mean_ms=self._baseline_mean[api],
-            estimated_mean_ms=float(statistics.fmean(latencies)),
-            estimated_latencies_ms=latencies,
+            estimated_mean_ms=mean,
+            estimated_latencies_ms=list(latencies),
         )
 
     def estimate_all(self, plan: MigrationPlan) -> Dict[str, PerformanceEstimate]:
         return {api: self.estimate(api, plan) for api in self.apis}
 
+    def _impact_factor(self, api: str, plan: MigrationPlan) -> float:
+        baseline = self._baseline_mean[api]
+        if baseline <= 0:
+            return 1.0
+        _latencies, mean = self._resolve(api, plan)
+        return mean / baseline
+
     def qperf(
         self, plan: MigrationPlan, api_weights: Optional[Mapping[str, float]] = None
     ) -> float:
         """QPerf(p) = (1/|A|) Σ_A τ_A Lat(A;p)/Lat(A) — lower is better (≥ ~1)."""
-        apis = self.apis
+        apis = self._apis
         total = 0.0
         for api in apis:
             weight = api_weights.get(api, 1.0) if api_weights else 1.0
-            estimate = self.estimate(api, plan)
-            total += weight * estimate.impact_factor
+            total += weight * self._impact_factor(api, plan)
         return total / len(apis)
 
     def impact_factors(self, plan: MigrationPlan) -> Dict[str, float]:
         """Per-API slowdown factors (used by Figures 11, 12 and 16)."""
-        return {api: self.estimate(api, plan).impact_factor for api in self.apis}
+        return {api: self._impact_factor(api, plan) for api in self.apis}

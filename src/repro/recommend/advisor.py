@@ -151,11 +151,16 @@ class Atlas:
         expected_scale: float = 1.0,
         api_rates: Optional[Mapping[str, Sequence[float]]] = None,
         preferences: Optional[MigrationPreferences] = None,
+        performance_engine: str = "compiled",
     ) -> QualityEvaluator:
         """Build the quality evaluator for a period of interest.
 
         ``expected_scale`` scales the observed traffic (the paper's 5x burst); passing
         explicit ``api_rates`` overrides it with any expected traffic forecast.
+        ``performance_engine`` selects the delay-injection engine: the vectorized
+        ``"compiled"`` replay (default) or the recursive ``"reference"`` oracle — both
+        produce identical numbers (the benchmarks use the oracle as the per-plan
+        comparison point).
         """
         knowledge = self._require_knowledge()
         preferences = preferences or self.preferences
@@ -174,6 +179,7 @@ class Atlas:
             network=self.network,
             baseline_plan=self.current_plan,
             traces_per_api=self.config.traces_per_api,
+            engine=performance_engine,
         )
         availability = ApiAvailabilityModel(
             stateful_components_by_api=knowledge.stateful_components_by_api(),

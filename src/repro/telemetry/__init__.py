@@ -3,12 +3,13 @@
 from .mesh import PairwiseNetworkMetrics
 from .metrics import ComponentMetricsStore, MetricSample
 from .server import TelemetryServer
-from .tracing import Span, Trace, TraceStore, new_trace_id
+from .tracing import Span, Trace, TraceStore, TraceStructure, new_trace_id
 
 __all__ = [
     "Span",
     "Trace",
     "TraceStore",
+    "TraceStructure",
     "new_trace_id",
     "ComponentMetricsStore",
     "MetricSample",

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
-__all__ = ["Span", "Trace", "TraceStore", "new_trace_id"]
+__all__ = ["Span", "Trace", "TraceStructure", "TraceStore", "new_trace_id"]
 
 _trace_counter = itertools.count(1)
 
@@ -27,7 +27,11 @@ def new_trace_id() -> str:
     return f"trace-{next(_trace_counter):08d}"
 
 
-@dataclass(frozen=True)
+#: Shared empty child list returned for leaf spans (callers treat children as read-only).
+_NO_CHILDREN: List["Span"] = []
+
+
+@dataclass(frozen=True, slots=True)
 class Span:
     """One operation executed while serving an API request."""
 
@@ -64,6 +68,21 @@ class Span:
         )
 
 
+class TraceStructure(NamedTuple):
+    """Flat, index-based view of one trace (the export consumed by compiled replay).
+
+    ``spans`` is the canonical span order of the trace; ``parent_index[i]`` is the
+    position of span ``i``'s parent in ``spans`` (``-1`` for the root);
+    ``children_index[i]`` lists the positions of span ``i``'s direct children in the
+    same order :meth:`Trace.children` yields them (start time, then span id).
+    """
+
+    spans: Tuple[Span, ...]
+    root_index: int
+    parent_index: Tuple[int, ...]
+    children_index: Tuple[Tuple[int, ...], ...]
+
+
 class Trace:
     """All spans created while serving one API request."""
 
@@ -90,6 +109,7 @@ class Trace:
                 self._children.setdefault(span.parent_id, []).append(span)
         for children in self._children.values():
             children.sort(key=lambda s: (s.start_ms, s.span_id))
+        self._structure: Optional[TraceStructure] = None
 
     # -- accessors -----------------------------------------------------------------
     @property
@@ -107,8 +127,12 @@ class Trace:
             raise KeyError(f"unknown span {span_id!r} in trace {self.trace_id!r}") from None
 
     def children(self, span_id: str) -> List[Span]:
-        """Direct child spans of ``span_id``, ordered by start time."""
-        return list(self._children.get(span_id, []))
+        """Direct child spans of ``span_id``, ordered by start time.
+
+        Returns the prebuilt child index (no copy, no rescan): treat it as read-only.
+        Leaves get a fresh empty list so no shared sentinel can be mutated.
+        """
+        return self._children.get(span_id) or []
 
     def parent(self, span_id: str) -> Optional[Span]:
         parent_id = self.span(span_id).parent_id
@@ -147,6 +171,34 @@ class Trace:
             parent = self._by_id[span.parent_id]
             edges.append((parent.component, span.component))
         return edges
+
+    def structure(self) -> TraceStructure:
+        """Index-based topology export (computed once, cached) for compiled replay.
+
+        Compiling a trace into flat arrays needs positions, not span ids: this returns
+        every span's parent position and ordered child positions in the canonical span
+        order, so downstream consumers never re-walk the id maps.
+        """
+        if self._structure is None:
+            position = {span.span_id: i for i, span in enumerate(self._spans)}
+            parent_index = tuple(
+                -1 if span.parent_id is None else position[span.parent_id]
+                for span in self._spans
+            )
+            children_index = tuple(
+                tuple(
+                    position[child.span_id]
+                    for child in self._children.get(span.span_id, _NO_CHILDREN)
+                )
+                for span in self._spans
+            )
+            self._structure = TraceStructure(
+                spans=tuple(self._spans),
+                root_index=position[self._root.span_id],
+                parent_index=parent_index,
+                children_index=children_index,
+            )
+        return self._structure
 
     def with_spans(self, spans: Sequence[Span]) -> "Trace":
         """A new trace with the same identity but replaced spans (delay injection output)."""

@@ -1,0 +1,273 @@
+"""Compiled trace-replay engine: equivalence with the reference oracle and cache laws.
+
+The compiled engine must be *bitwise* identical to the recursive ``DelayInjector``
+(that is what keeps fixed-seed GA trajectories engine-independent), and the projection
+caches must never change results — only skip work.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import MigrationPlan, default_network_model
+from repro.learning import ApiProfiler, FootprintLearner, ResourceEstimator
+from repro.quality import (
+    ApiAvailabilityModel,
+    ApiPerformanceModel,
+    CloudCostModel,
+    CompiledTraceSet,
+    DelayInjector,
+    MigrationPreferences,
+    PricingCatalog,
+    QualityEvaluator,
+)
+from repro.telemetry import Span, Trace
+
+
+def random_trace(rng: np.random.Generator, trace_id: str) -> Trace:
+    """A random span tree with sequential, parallel and background patterns.
+
+    Timings are rounded to one decimal so sibling ties, zero durations and exact
+    overlaps (the classification edge cases) actually occur.
+    """
+    n_spans = int(rng.integers(1, 16))
+    components = [f"C{i}" for i in range(int(rng.integers(2, 7)))]
+    spans = [
+        Span(
+            trace_id,
+            "s0",
+            None,
+            str(rng.choice(components)),
+            "op",
+            float(np.round(rng.uniform(0, 10), 1)),
+            float(np.round(rng.uniform(5, 60), 1)),
+        )
+    ]
+    for i in range(1, n_spans):
+        parent = spans[int(rng.integers(0, len(spans)))]
+        start = parent.start_ms + float(np.round(rng.uniform(0, parent.duration_ms), 1))
+        # Durations may exceed the parent's end: that is the background pattern.
+        duration = float(np.round(rng.uniform(0, parent.duration_ms * 1.5), 1))
+        spans.append(
+            Span(trace_id, f"s{i}", parent.span_id, str(rng.choice(components)), "op", start, duration)
+        )
+    return Trace(trace_id, "/api", spans)
+
+
+def random_delays(rng: np.random.Generator, edges) -> dict:
+    """A random delay map including zero, negative (must be clipped) and large Δ."""
+    return {edge: float(rng.uniform(-5, 80)) for edge in edges if rng.random() < 0.6}
+
+
+class TestCompiledEquivalence:
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_delay_injector_on_random_topologies(self, seed):
+        rng = np.random.default_rng(seed)
+        traces = [random_trace(rng, f"t{k}") for k in range(int(rng.integers(1, 5)))]
+        edges = sorted({edge for trace in traces for edge in trace.invocation_edges()})
+        compiled = CompiledTraceSet(traces, edges)
+        for _ in range(3):
+            delays = random_delays(rng, edges)
+            reference = [DelayInjector(trace).injected_latency_ms(delays) for trace in traces]
+            replayed = compiled.latencies(delays)
+            assert len(replayed) == len(reference)
+            for got, want in zip(replayed, reference):
+                assert got == pytest.approx(want, abs=1e-9)
+                assert got == want  # bitwise: fixed-seed searches stay engine-independent
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=20, deadline=None)
+    def test_replay_batch_rows_match_single_plan_replays(self, seed):
+        rng = np.random.default_rng(seed)
+        traces = [random_trace(rng, f"t{k}") for k in range(int(rng.integers(1, 4)))]
+        edges = sorted({edge for trace in traces for edge in trace.invocation_edges()})
+        compiled = CompiledTraceSet(traces, edges)
+        delay_maps = [random_delays(rng, edges) for _ in range(5)]
+        rows = np.vstack([compiled.delta_row(d) for d in delay_maps])
+        matrix = compiled.replay_batch(rows)
+        assert matrix.shape == (5, len(traces))
+        for row, delays in zip(matrix, delay_maps):
+            assert [float(v) for v in row] == compiled.latencies(delays)
+
+    def test_no_delay_replay_is_identity(self):
+        rng = np.random.default_rng(7)
+        traces = [random_trace(rng, f"t{k}") for k in range(3)]
+        edges = sorted({edge for trace in traces for edge in trace.invocation_edges()})
+        compiled = CompiledTraceSet(traces, edges)
+        for got, trace in zip(compiled.latencies({}), traces):
+            assert got == pytest.approx(trace.latency_ms, abs=1e-9)
+
+    def test_rejects_empty_trace_set_and_bad_rows(self):
+        with pytest.raises(ValueError):
+            CompiledTraceSet([], [])
+        rng = np.random.default_rng(1)
+        trace = random_trace(rng, "t")
+        compiled = CompiledTraceSet([trace], sorted(set(trace.invocation_edges())))
+        with pytest.raises(ValueError):
+            compiled.replay_batch(np.zeros((1, compiled.n_edges + 3)))
+
+
+@pytest.fixture(scope="module")
+def tiny_models(tiny_telemetry):
+    """Performance models (both engines) + full evaluators over the tiny app."""
+    app, result = tiny_telemetry
+    telemetry = result.telemetry
+    baseline = MigrationPlan.all_on_prem(app.component_names)
+    profiles = ApiProfiler(
+        telemetry, stateful_components=app.stateful_components(), traces_per_api=20
+    ).profile_all()
+    footprint = FootprintLearner(telemetry).learn()
+    network = default_network_model()
+    estimator = ResourceEstimator(app, telemetry).fit()
+    estimate = estimator.predict_scaled(3.0)
+
+    def performance(engine):
+        return ApiPerformanceModel(
+            traces_by_api={api: p.sample_traces for api, p in profiles.items()},
+            footprint=footprint,
+            network=network,
+            baseline_plan=baseline,
+            traces_per_api=20,
+            engine=engine,
+        )
+
+    def evaluator(engine):
+        return QualityEvaluator(
+            performance=performance(engine),
+            availability=ApiAvailabilityModel(
+                {api: p.stateful_components for api, p in profiles.items()}, baseline
+            ),
+            cost=CloudCostModel(
+                PricingCatalog(),
+                estimate,
+                footprint,
+                {c.name: c.resources.storage_gb for c in app.components},
+                baseline,
+                time_compression=288.0,
+            ),
+            preferences=MigrationPreferences(),
+            estimate=estimate,
+            component_order=app.component_names,
+        )
+
+    return app, performance, evaluator
+
+
+def _random_plans(app, count, seed=11):
+    rng = np.random.default_rng(seed)
+    names = app.component_names
+    return [
+        MigrationPlan.from_vector(names, [int(v) for v in rng.integers(0, 2, len(names))])
+        for _ in range(count)
+    ]
+
+
+class TestProjectionCache:
+    def test_cached_qperf_equals_uncached(self, tiny_models):
+        """Plans differing only in components an API never touches share a projection;
+        the cached result must equal a fresh, cache-cold computation."""
+        app, performance, _evaluator = tiny_models
+        cached_model = performance("compiled")
+        for plan in _random_plans(app, 12):
+            fresh_model = performance("compiled")  # cache-cold every time
+            assert cached_model.qperf(plan) == fresh_model.qperf(plan)
+            for api in cached_model.apis:
+                assert cached_model.estimate_latencies(api, plan) == pytest.approx(
+                    fresh_model.estimate_latencies(api, plan), abs=1e-9
+                )
+
+    def test_projection_key_ignores_untouched_components(self, tiny_models):
+        app, performance, _evaluator = tiny_models
+        model = performance("compiled")
+        # /read never touches ServiceB: flipping it must not change the projection.
+        assert "ServiceB" not in model.api_components()["/read"]
+        base = MigrationPlan.all_on_prem(app.component_names)
+        flipped = base.with_location("ServiceB", 1)
+        assert model.projection_key("/read", base) == model.projection_key("/read", flipped)
+        assert model.estimate_latencies("/read", base) == model.estimate_latencies(
+            "/read", flipped
+        )
+
+    def test_engines_agree_on_qperf(self, tiny_models):
+        app, performance, _evaluator = tiny_models
+        compiled_model = performance("compiled")
+        reference_model = performance("reference")
+        for plan in _random_plans(app, 12, seed=5):
+            assert compiled_model.qperf(plan) == reference_model.qperf(plan)
+
+    def test_invalid_engine_rejected(self, tiny_models):
+        _app, performance, _evaluator = tiny_models
+        with pytest.raises(ValueError):
+            performance("interpreted")
+
+
+class TestEvaluateBatch:
+    def test_matches_sequential_evaluate(self, tiny_models):
+        app, _performance, evaluator = tiny_models
+        plans = _random_plans(app, 20, seed=3)
+        sequential = evaluator("compiled")
+        batched = evaluator("compiled")
+        expected = [sequential.evaluate(plan) for plan in plans]
+        got = batched.evaluate_batch(plans)
+        assert [q.objectives() for q in got] == [q.objectives() for q in expected]
+        assert [q.feasible for q in got] == [q.feasible for q in expected]
+        assert batched.evaluations == sequential.evaluations
+
+    def test_deduplicates_and_counts_like_evaluate(self, tiny_models):
+        app, _performance, evaluator = tiny_models
+        plan = MigrationPlan.all_on_prem(app.component_names)
+        batched = evaluator("compiled")
+        qualities = batched.evaluate_batch([plan, plan, plan])
+        assert batched.evaluations == 1
+        assert qualities[0] is qualities[1] is qualities[2]
+        # A second batch with the same plan is a pure cache hit.
+        batched.evaluate_batch([plan])
+        assert batched.evaluations == 1
+
+    def test_evaluated_qualities_records_distinct_plans(self, tiny_models):
+        app, _performance, evaluator = tiny_models
+        plans = _random_plans(app, 10, seed=9)
+        batched = evaluator("compiled")
+        batched.evaluate_batch(plans + plans)
+        recorded = batched.evaluated_qualities()
+        assert len(recorded) == batched.evaluations
+        distinct = {tuple(plan.to_vector()) for plan in plans}
+        assert {tuple(q.plan.to_vector()) for q in recorded} == distinct
+
+    def test_batch_across_engines_identical(self, tiny_models):
+        app, _performance, evaluator = tiny_models
+        plans = _random_plans(app, 15, seed=21)
+        compiled_q = evaluator("compiled").evaluate_batch(plans)
+        reference_q = evaluator("reference").evaluate_batch(plans)
+        assert [q.objectives() for q in compiled_q] == [q.objectives() for q in reference_q]
+
+
+class TestEngineDeterminism:
+    def test_fixed_seed_ga_front_is_engine_independent(self, tiny_models):
+        """A fixed-seed AtlasGA run must produce the same Pareto front, evaluation
+        count and generation count on either replay engine (bitwise equivalence)."""
+        from repro.optimizer.atlas_ga import AtlasGA, GAConfig
+
+        app, _performance, evaluator = tiny_models
+        config = GAConfig(
+            population_size=12,
+            offspring_per_generation=6,
+            evaluation_budget=150,
+            max_generations=25,
+            train_iterations=8,
+            train_batch_size=2,
+            train_pairs=8,
+            seed=4,
+        )
+        results = {}
+        for engine in ("compiled", "reference"):
+            ga = AtlasGA(evaluator(engine), app.component_names, config=config)
+            results[engine] = ga.run()
+        compiled_result, reference_result = results["compiled"], results["reference"]
+        assert [q.objectives() for q in compiled_result.pareto] == [
+            q.objectives() for q in reference_result.pareto
+        ]
+        assert compiled_result.evaluations == reference_result.evaluations
+        assert compiled_result.generations == reference_result.generations
