@@ -580,11 +580,17 @@ def figure21_drl_vs_nsga2(
 
     drl_eval = testbed.evaluator()
     drl_result = AtlasGA(
-        drl_eval, testbed.application.component_names, make_config("drl", base.seed)
+        drl_eval,
+        testbed.application.component_names,
+        make_config("drl", base.seed),
+        locations=testbed.locations,
     ).run()
     nsga_eval = testbed.evaluator()
     nsga_result = AtlasGA(
-        nsga_eval, testbed.application.component_names, make_config("uniform", base.seed)
+        nsga_eval,
+        testbed.application.component_names,
+        make_config("uniform", base.seed),
+        locations=testbed.locations,
     ).run()
     return {
         "drl_front": sorted((q.perf, q.cost) for q in drl_result.pareto),
@@ -691,7 +697,12 @@ def figure22_breach_detection(
 def scalability_report(testbed: Testbed, crossover_samples: int = 200) -> Dict[str, float]:
     """Training time, per-offspring inference time and end-to-end recommendation time."""
     evaluator = testbed.evaluator()
-    ga = AtlasGA(evaluator, testbed.application.component_names, testbed.atlas.config.ga)
+    ga = AtlasGA(
+        evaluator,
+        testbed.application.component_names,
+        testbed.atlas.config.ga,
+        locations=testbed.locations,
+    )
     start = time.perf_counter()
     ga.train_agent()
     training_s = time.perf_counter() - start
@@ -705,7 +716,10 @@ def scalability_report(testbed: Testbed, crossover_samples: int = 200) -> Dict[s
 
     start = time.perf_counter()
     result = AtlasGA(
-        testbed.evaluator(), testbed.application.component_names, testbed.atlas.config.ga
+        testbed.evaluator(),
+        testbed.application.component_names,
+        testbed.atlas.config.ga,
+        locations=testbed.locations,
     ).run()
     recommendation_s = time.perf_counter() - start
     return {

@@ -1,7 +1,12 @@
-"""Hybrid cloud substrate: datacenters, network model, placements and autoscalers."""
+"""Multi-location cluster substrate: datacenters, network model, placements, autoscalers."""
 
 from .autoscaler import AutoscalerConfig, ClusterAutoscaler, StorageAutoscaler
-from .network import LinkSpec, NetworkModel, default_network_model
+from .network import (
+    LinkSpec,
+    NetworkModel,
+    default_multi_location_network,
+    default_network_model,
+)
 from .placement import MigrationPlan
 from .topology import (
     CLOUD,
@@ -10,6 +15,7 @@ from .topology import (
     HybridCluster,
     NodeSpec,
     default_hybrid_cluster,
+    default_multi_location_cluster,
 )
 
 __all__ = [
@@ -19,9 +25,11 @@ __all__ = [
     "Datacenter",
     "HybridCluster",
     "default_hybrid_cluster",
+    "default_multi_location_cluster",
     "LinkSpec",
     "NetworkModel",
     "default_network_model",
+    "default_multi_location_network",
     "MigrationPlan",
     "AutoscalerConfig",
     "ClusterAutoscaler",

@@ -1,8 +1,11 @@
 """Cluster and storage autoscaler simulation (Appendix A, Eq. 6 and Eq. 8).
 
-The public cloud charges only for allocated nodes and provisioned storage.  These two
-small simulators convert a time series of expected resource demand into a time series of
-allocated capacity, which the cost model (:mod:`repro.quality.cost`) then prices.
+An elastic datacenter charges only for allocated nodes and provisioned storage.  These
+two small simulators convert a time series of expected resource demand into a time
+series of allocated capacity, which the cost model (:mod:`repro.quality.cost`) then
+prices.  Each elastic datacenter runs its *own* autoscaler sized to that site's node
+spec — the cost model instantiates one :class:`ClusterAutoscaler` per elastic location,
+so N-location clusters scale every region independently.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ class AutoscalerConfig:
 
 
 class ClusterAutoscaler:
-    """Computes the number of cloud nodes required over time (Eq. 6).
+    """Computes the number of nodes one elastic datacenter allocates over time (Eq. 6).
 
     ``n_t = max_r ceil((1 + δ_r) * demand_r[t] / Ω_r)`` for r ∈ {CPU, memory}.
     """

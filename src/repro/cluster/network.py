@@ -5,20 +5,28 @@ The paper reports the measured characteristics of its testbed:
 * intra-datacenter (collocated nodes): 0.168 ms average latency, 941 Mbps bandwidth;
 * inter-datacenter (Wisconsin <-> Massachusetts): 23.015 ms latency, 921 Mbps bandwidth.
 
-:class:`NetworkModel` stores a latency/bandwidth matrix over locations and converts a
-payload size into a one-way transfer time.  It is used both by the execution simulator
-(ground truth) and by Atlas's delay-injection estimator (Eq. 2), which only needs the
-*difference* between the before/after link characteristics.
+:class:`NetworkModel` stores a symmetric latency/bandwidth matrix over an arbitrary
+number of locations and converts a payload size into a one-way transfer time.  It is
+used both by the execution simulator (ground truth) and by Atlas's delay-injection
+estimator (Eq. 2), which only needs the *difference* between the before/after link
+characteristics.  :func:`default_network_model` builds the paper's two-location matrix;
+:func:`default_multi_location_network` builds the dense pairwise matrix of the built-in
+N-location testbed (on-prem + several cloud regions).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .topology import CLOUD, ON_PREM
 
-__all__ = ["LinkSpec", "NetworkModel", "default_network_model"]
+__all__ = [
+    "LinkSpec",
+    "NetworkModel",
+    "default_network_model",
+    "default_multi_location_network",
+]
 
 _BITS_PER_BYTE = 8.0
 _MBPS_TO_BYTES_PER_MS = 1e6 / _BITS_PER_BYTE / 1e3  # 1 Mbps = 125 bytes/ms
@@ -64,6 +72,17 @@ class NetworkModel:
     @staticmethod
     def _key(a: int, b: int) -> Tuple[int, int]:
         return (a, b) if a <= b else (b, a)
+
+    def locations(self) -> List[int]:
+        """Every location id that appears in at least one link."""
+        seen = set()
+        for a, b in self._links:
+            seen.add(a)
+            seen.add(b)
+        return sorted(seen)
+
+    def has_link(self, loc_a: int, loc_b: int) -> bool:
+        return self._key(loc_a, loc_b) in self._links
 
     def link(self, loc_a: int, loc_b: int) -> LinkSpec:
         try:
@@ -128,3 +147,44 @@ def default_network_model(
             (ON_PREM, CLOUD): inter,
         }
     )
+
+
+#: Round-trip latencies (ms) of the built-in three-location testbed: on-prem
+#: (Wisconsin), cloud-east (Massachusetts, the paper's measured 23.015 ms) and
+#: cloud-west (Oregon) — the west region is roughly twice as far from both.
+_DEFAULT_3DC_LATENCIES_MS: Dict[Tuple[int, int], float] = {
+    (ON_PREM, CLOUD): 23.015,
+    (ON_PREM, 2): 44.5,
+    (CLOUD, 2): 61.0,
+}
+
+
+def default_multi_location_network(
+    locations: Sequence[int] = (ON_PREM, CLOUD, 2),
+    intra_latency_ms: float = 0.168,
+    intra_bandwidth_mbps: float = 941.0,
+    inter_latencies_ms: Optional[Mapping[Tuple[int, int], float]] = None,
+    inter_bandwidth_mbps: float = 921.0,
+    default_inter_latency_ms: float = 44.5,
+) -> NetworkModel:
+    """A dense pairwise network over N locations.
+
+    Every location gets the measured intra-DC link to itself; every location pair gets
+    an inter-DC link whose latency comes from ``inter_latencies_ms`` (falling back to
+    the built-in three-location table, then to ``default_inter_latency_ms``) at the
+    paper's measured inter-DC bandwidth.  With the default two-location prefix the
+    matrix restricted to locations 0 and 1 is exactly :func:`default_network_model`.
+    """
+    latencies = dict(_DEFAULT_3DC_LATENCIES_MS)
+    if inter_latencies_ms:
+        for (a, b), value in inter_latencies_ms.items():
+            latencies[(a, b) if a <= b else (b, a)] = value
+    intra = LinkSpec(intra_latency_ms, intra_bandwidth_mbps)
+    links: Dict[Tuple[int, int], LinkSpec] = {}
+    ordered = sorted(set(locations))
+    for i, a in enumerate(ordered):
+        links[(a, a)] = intra
+        for b in ordered[i + 1 :]:
+            latency = latencies.get((a, b), default_inter_latency_ms)
+            links[(a, b)] = LinkSpec(latency, inter_bandwidth_mbps)
+    return NetworkModel(links)

@@ -1,10 +1,19 @@
 """Migration plans: where each application component runs.
 
 A :class:`MigrationPlan` is the unit of search in Atlas — a mapping from component name
-to a location id (0 = on-prem, 1 = cloud in the default two-location setup).  The class
-offers the vector view used by the genetic algorithm and the DRL crossover agent,
+to a location id.  Location 0 is always the on-prem site; ids >= 1 are remote sites
+(exactly one of them — the public cloud — in the paper's two-location setup, several
+cloud regions/edge sites in the N-location topologies).  The class offers the
+location-vector view used by the genetic algorithm and the DRL crossover agent,
 set-style accessors used by the quality models, and (de)serialization helpers used by
 the examples.
+
+A historical trap this class deliberately avoids: with more than one remote location
+"not on-prem" no longer means "the cloud".  :meth:`offloaded` therefore documents
+itself as *any remote location*, and callers that bill or count a specific site must
+use :meth:`components_at` with that site's location id (see
+:class:`repro.quality.cost.CloudCostModel`, which bills each elastic datacenter
+separately).
 """
 
 from __future__ import annotations
@@ -75,15 +84,22 @@ class MigrationPlan(Mapping[str, int]):
 
     @classmethod
     def from_offloaded(
-        cls, components: Sequence[str], offloaded: Iterable[str]
+        cls, components: Sequence[str], offloaded: Iterable[str], location: int = CLOUD
     ) -> "MigrationPlan":
-        """Plan that offloads exactly the given components to the cloud."""
+        """Plan that offloads exactly the given components to one remote location.
+
+        ``location`` defaults to the paper's single cloud (id 1); pass another id to
+        target a different region of a multi-location topology.
+        """
+        if int(location) == ON_PREM:
+            raise ValueError("offload location must be a remote site, not on-prem (0)")
         offloaded = set(offloaded)
         unknown = offloaded - set(components)
         if unknown:
             raise ValueError(f"offloaded components not in application: {sorted(unknown)}")
         return cls(
-            {c: (CLOUD if c in offloaded else ON_PREM) for c in components}, order=components
+            {c: (int(location) if c in offloaded else ON_PREM) for c in components},
+            order=components,
         )
 
     @classmethod
@@ -109,14 +125,25 @@ class MigrationPlan(Mapping[str, int]):
         return self[component]
 
     def offloaded(self) -> List[str]:
-        """Components placed anywhere other than on-prem."""
+        """Components placed at *any* remote location (not necessarily location 1).
+
+        With a single remote site this is exactly "the components in the cloud"; with
+        several it is their union — use :meth:`components_at` to bill or count one
+        specific site.
+        """
         return [c for c, loc in zip(self._components, self._locations) if loc != ON_PREM]
 
     def on_prem(self) -> List[str]:
+        """Components placed at the on-prem site (location 0)."""
         return [c for c, loc in zip(self._components, self._locations) if loc == ON_PREM]
 
     def components_at(self, location: int) -> List[str]:
+        """Components placed at exactly the given location id."""
         return [c for c, loc in zip(self._components, self._locations) if loc == location]
+
+    def locations_used(self) -> List[int]:
+        """Sorted distinct location ids this plan places at least one component on."""
+        return sorted(set(self._locations))
 
     def offload_count(self) -> int:
         return len(self.offloaded())

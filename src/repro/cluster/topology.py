@@ -1,11 +1,18 @@
-"""Hybrid cloud topology: datacenters, node types and the cluster as a whole.
+"""Multi-location topology: datacenters, node types and the cluster as a whole.
 
 The paper's evaluation uses a two-datacenter hybrid cloud: a ten-node on-premises
 cluster (CloudLab Wisconsin) and a public-cloud datacenter (Massachusetts) whose nodes
 are allocated on demand through a cluster autoscaler.  This module captures that setup
-— which locations exist, what hardware a node provides, how many nodes the on-prem
-site owns — without prescribing where components run (that is a
+— which locations exist, what hardware a node provides, how many nodes each site owns
+— without prescribing where components run (that is a
 :class:`repro.cluster.placement.MigrationPlan`).
+
+The cluster is *not* limited to two sites: a :class:`HybridCluster` holds an arbitrary
+list of :class:`Datacenter` objects with per-site node specs and elasticity, which is
+how the N-location topologies (on-prem + several cloud regions, edge sites, ...) of the
+sky-computing extension are expressed.  :func:`default_hybrid_cluster` builds the
+paper's two-site testbed; :func:`default_multi_location_cluster` adds a second,
+cheaper-but-farther cloud region as the built-in three-location testbed.
 """
 
 from __future__ import annotations
@@ -20,9 +27,12 @@ __all__ = [
     "Datacenter",
     "HybridCluster",
     "default_hybrid_cluster",
+    "default_multi_location_cluster",
 ]
 
-#: Canonical location indices used throughout the code base (paper Sec. 4.1).
+#: Canonical location indices used throughout the code base (paper Sec. 4.1).  Location
+#: 0 is always the on-premises site; every id >= 1 is a remote location (the paper's
+#: single public cloud is id 1; additional regions/edge sites take ids 2, 3, ...).
 ON_PREM = 0
 CLOUD = 1
 
@@ -53,7 +63,12 @@ class NodeSpec:
 
 @dataclass
 class Datacenter:
-    """One datacenter (location) of the hybrid cloud."""
+    """One datacenter (location) of the cluster.
+
+    ``elastic`` datacenters allocate nodes on demand through a cluster autoscaler and
+    are billed per allocated node; inelastic ones own a fixed ``node_count``.  Any
+    number of either kind can coexist in one :class:`HybridCluster`.
+    """
 
     name: str
     location_id: int
@@ -99,11 +114,13 @@ class Datacenter:
 
 
 class HybridCluster:
-    """A collection of datacenters forming the hybrid cloud.
+    """A collection of datacenters forming the (multi-location) cluster.
 
     The default (and the paper's) configuration has exactly two: an inelastic on-prem
-    datacenter and an elastic public cloud.  The class supports more locations so the
-    multi-cloud/sky-computing extension discussed in Section 6 can be expressed.
+    datacenter and an elastic public cloud.  Arbitrary datacenter lists are supported —
+    the placement search, quality models and simulator all operate on location ids, so
+    the multi-cloud/sky-computing extension of Section 6 is just a longer list here
+    plus a denser :class:`~repro.cluster.network.NetworkModel` link matrix.
     """
 
     def __init__(self, datacenters: List[Datacenter]) -> None:
@@ -136,8 +153,25 @@ class HybridCluster:
 
     @property
     def cloud(self) -> Datacenter:
-        """The (first) public-cloud datacenter (location 1)."""
+        """The first public-cloud datacenter (location 1).
+
+        With more than two locations this is only *one* of the remote sites — use
+        :meth:`elastic_datacenters` / :meth:`remote_datacenters` to enumerate all of
+        them instead of assuming "not on-prem" means "the cloud".
+        """
         return self.datacenter(CLOUD)
+
+    def elastic_datacenters(self) -> List[Datacenter]:
+        """Every autoscaled (pay-per-node) datacenter, in location-id order."""
+        return [dc for dc in self.datacenters if dc.elastic]
+
+    def remote_datacenters(self) -> List[Datacenter]:
+        """Every datacenter other than the on-prem site, in location-id order."""
+        return [dc for dc in self.datacenters if dc.location_id != ON_PREM]
+
+    @property
+    def n_locations(self) -> int:
+        return len(self._by_id)
 
     def on_prem_capacity(self, resource: str) -> float:
         return self.on_prem.capacity(resource)
@@ -196,3 +230,60 @@ def default_hybrid_cluster(
             ),
         ]
     )
+
+
+def default_multi_location_cluster(
+    on_prem_nodes: int = 10,
+    on_prem_cpu_cores: float = 20.0,
+    on_prem_memory_gb: float = 160.0,
+    extra_regions: Optional[List[Dict]] = None,
+) -> HybridCluster:
+    """The built-in three-location testbed: on-prem + two elastic cloud regions.
+
+    Location 1 ("cloud-east") is the paper's Massachusetts datacenter; location 2
+    ("cloud-west") is a farther but cheaper region.  ``extra_regions`` appends more
+    elastic sites (each a dict of :class:`Datacenter` overrides with at least a
+    ``name``), taking location ids 3, 4, ... in order.
+    """
+    base = default_hybrid_cluster(
+        on_prem_nodes=on_prem_nodes,
+        on_prem_cpu_cores=on_prem_cpu_cores,
+        on_prem_memory_gb=on_prem_memory_gb,
+    )
+    datacenters = list(base.datacenters)
+    datacenters[CLOUD].name = "cloud-east"
+    west_spec = NodeSpec(
+        name="cloud-node-west",
+        cpu_millicores=4_000.0,
+        memory_mb=16.0 * 1024.0,
+        storage_gb=900.0,
+        hourly_price_usd=0.096 * 1.6,
+    )
+    datacenters.append(
+        Datacenter(
+            name="cloud-west",
+            location_id=2,
+            node_spec=west_spec,
+            node_count=None,
+            elastic=True,
+            region="oregon",
+        )
+    )
+    for offset, overrides in enumerate(extra_regions or []):
+        overrides = dict(overrides)
+        name = overrides.pop("name")
+        datacenters.append(
+            Datacenter(
+                name=name,
+                location_id=3 + offset,
+                node_spec=overrides.pop("node_spec", west_spec),
+                node_count=overrides.pop("node_count", None),
+                elastic=overrides.pop("elastic", True),
+                region=overrides.pop("region", ""),
+            )
+        )
+        if overrides:
+            raise ValueError(
+                f"unknown extra-region keys for {name!r}: {sorted(overrides)}"
+            )
+    return HybridCluster(datacenters)

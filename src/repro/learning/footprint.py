@@ -90,6 +90,31 @@ class NetworkFootprint:
                 traffic[pair] = traffic.get(pair, 0.0) + count * edge.total_bytes
         return traffic
 
+    def expected_cross_location_traffic(
+        self, plan: Mapping[str, int], api_request_counts: Mapping[str, float]
+    ) -> Dict[Tuple[int, int], float]:
+        """Expected bytes crossing each (ordered) location pair under one placement.
+
+        Keys are ``(caller location, callee location)`` with caller != callee; values
+        are total request+response bytes of all edges mapped onto that inter-location
+        link.  With two locations there is a single off-diagonal pair per direction;
+        with N locations this is the link-load matrix multi-region cost and capacity
+        planning reason about.
+        """
+        loads: Dict[Tuple[int, int], float] = {}
+        for api, count in api_request_counts.items():
+            if count <= 0:
+                continue
+            for (src, dst), edge in self._by_api.get(api, {}).items():
+                if src not in plan or dst not in plan:
+                    continue
+                src_loc, dst_loc = plan[src], plan[dst]
+                if src_loc == dst_loc:
+                    continue
+                key = (src_loc, dst_loc)
+                loads[key] = loads.get(key, 0.0) + count * edge.total_bytes
+        return loads
+
     # -- evaluation helpers -------------------------------------------------------------------
     def accuracy_against(
         self, reference: Mapping[str, Mapping[Pair, Tuple[float, float]]]

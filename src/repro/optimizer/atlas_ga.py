@@ -8,6 +8,14 @@ of parent pairs drawn from randomly sampled plans; at convergence it reliably pr
 feasible children that beat their parents in several quality aspects, which accelerates
 the evolution under a fixed budget of visited plans (10,000 in the paper, 0.0019% of the
 social network's search space).
+
+**N-location encoding.**  Chromosomes are integer *location vectors* — gene ``i`` holds
+the location id of component ``i`` — not 0/1 bit vectors.  Pass ``locations`` (e.g.
+``(0, 1, 2)`` for on-prem + two cloud regions) to search a multi-location topology:
+random initialization spreads components over all remote sites, mutation flips genes to
+any other location, and the memetic neighbourhood relocates components/pairs/API paths
+to every site.  The default ``(ON_PREM, CLOUD)`` reproduces the paper's two-location
+search bit-for-bit (identical RNG consumption, identical trajectories).
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from ..quality.evaluator import PlanQuality, QualityEvaluator
 from .drl.agent import CrossoverAgent, TrainingHistory
 from .nsga2 import (
     bitflip_mutation,
+    random_location_vector,
     rank_population,
     survival_selection,
     tournament_pairs,
@@ -51,6 +60,7 @@ def affinity_seed_vectors(
     rng: np.random.Generator,
     count: int = 4,
     noise: float = 0.15,
+    locations: Sequence[int] = (ON_PREM, CLOUD),
 ) -> List[List[int]]:
     """Population seeds derived from the learned traffic matrix.
 
@@ -61,7 +71,16 @@ def affinity_seed_vectors(
     efficient basin; the API-centric objectives then refine within and beyond it.  The
     seeds are ordinary visited plans and count against the evaluation budget like any
     other candidate.
+
+    With N locations the greedy offload targets the *primary* remote site (the first
+    non-on-prem id in ``locations``): the cut-traffic objective cannot distinguish
+    remote sites from one another, so the seeds stay two-sided and the GA's own
+    operators spread load across the remaining regions.
     """
+    remote = [loc for loc in locations if loc != ON_PREM]
+    if not remote:
+        raise ValueError("locations must include at least one remote site")
+    primary_remote = remote[0]
     movable = [c for c in components if c not in pinned]
     member = set(components)
     # Per-component incident traffic (both directions, self-edges excluded): flipping c
@@ -87,12 +106,20 @@ def affinity_seed_vectors(
             )
 
         def flip_delta(c: str) -> float:
+            # Cut change of toggling c between on-prem and the primary remote.  A
+            # neighbour pinned to a *third* site stays cross-location on both sides of
+            # the toggle, so it must contribute zero — comparing against the actual
+            # target location (not "any other side") handles that.
             side = assignment[c]
+            target = primary_remote if side == ON_PREM else ON_PREM
             delta = 0.0
             for neighbour, bytes_ in incident[c]:
-                if assignment[neighbour] == side:
+                neighbour_side = assignment[neighbour]
+                crosses_now = neighbour_side != side
+                crosses_after = neighbour_side != target
+                if crosses_after and not crosses_now:
                     delta += bytes_
-                else:
+                elif crosses_now and not crosses_after:
                     delta -= bytes_
             return delta
 
@@ -110,7 +137,7 @@ def affinity_seed_vectors(
             ]
             _score, chosen = min(scored)
             current_cut += flip_delta(chosen)
-            assignment[chosen] = CLOUD
+            assignment[chosen] = primary_remote
             plan = MigrationPlan(assignment, order=components)
         # Keep flipping single components while it reduces the cut and stays feasible, so
         # the seed sits at a local optimum of the traffic objective (the basin affinity
@@ -121,13 +148,15 @@ def affinity_seed_vectors(
                 delta = flip_delta(c)
                 if delta >= 0.0:
                     continue
-                assignment[c] = CLOUD if assignment[c] == ON_PREM else ON_PREM
+                flipped = primary_remote if assignment[c] == ON_PREM else ON_PREM
+                original = assignment[c]
+                assignment[c] = flipped
                 candidate_plan = MigrationPlan(assignment, order=components)
                 if is_feasible(candidate_plan):
                     current_cut += delta
                     improved = True
                 else:
-                    assignment[c] = CLOUD if assignment[c] == ON_PREM else ON_PREM
+                    assignment[c] = original
             if not improved:
                 break
         seeds.append([assignment[c] for c in components])
@@ -217,7 +246,12 @@ class SearchResult:
 
 
 class AtlasGA:
-    """DRL-based genetic algorithm over migration plans."""
+    """DRL-based genetic algorithm over migration plans.
+
+    ``locations`` is the set of location ids the search may place components at; the
+    default is the paper's two-location topology.  Multi-location searches use the same
+    loop — only the sampling/mutation/neighbourhood operators widen to the extra sites.
+    """
 
     def __init__(
         self,
@@ -225,15 +259,42 @@ class AtlasGA:
         components: Sequence[str],
         config: Optional[GAConfig] = None,
         seed_vectors: Optional[Sequence[Sequence[int]]] = None,
+        locations: Optional[Sequence[int]] = None,
     ) -> None:
         self.evaluator = evaluator
         self.components = list(components)
         self.config = config or GAConfig()
+        self.locations: Tuple[int, ...] = (
+            tuple(int(loc) for loc in locations)
+            if locations is not None
+            else (ON_PREM, CLOUD)
+        )
+        if len(set(self.locations)) != len(self.locations) or len(self.locations) < 2:
+            raise ValueError("locations must be at least two distinct ids")
+        if ON_PREM not in self.locations:
+            raise ValueError("locations must include the on-prem site (0)")
+        self._remote_locations: Tuple[int, ...] = tuple(
+            loc for loc in self.locations if loc != ON_PREM
+        )
+        #: The paper's two-location fast path: keeps RNG consumption (and therefore
+        #: fixed-seed trajectories) bit-for-bit identical to the original bit-vector GA.
+        self._binary = self.locations == (ON_PREM, CLOUD)
         self._rng = np.random.default_rng(self.config.seed)
         pins = evaluator.preferences.pinned_placement
         self._pinned_indices: Dict[int, int] = {
             self.components.index(c): loc for c, loc in pins.items() if c in self.components
         }
+        if not self._binary:
+            invalid = sorted(
+                c
+                for c, loc in pins.items()
+                if c in self.components and loc not in self.locations
+            )
+            if invalid:
+                raise ValueError(
+                    f"components {invalid} are pinned to locations outside the search "
+                    f"space {self.locations}"
+                )
         self.seed_vectors = [self._apply_pins(list(v)) for v in (seed_vectors or [])]
         self.agent: Optional[CrossoverAgent] = None
 
@@ -246,10 +307,15 @@ class AtlasGA:
     def _random_vector(self) -> List[int]:
         # Spread the initial population across offload ratios: when the on-prem cluster
         # is far over capacity only high-offload plans are feasible, while low-offload
-        # plans matter when it is not.
+        # plans matter when it is not.  Offloaded genes pick a remote site uniformly.
         offload_prob = self._rng.uniform(0.1, 0.95)
-        vector = (self._rng.random(len(self.components)) < offload_prob).astype(int)
-        return self._apply_pins([int(v) for v in vector])
+        if self._binary:
+            vector = (self._rng.random(len(self.components)) < offload_prob).astype(int)
+            return self._apply_pins([int(v) for v in vector])
+        vector = random_location_vector(
+            self._rng, len(self.components), offload_prob, self.locations
+        )
+        return self._apply_pins(vector)
 
     def _to_plan(self, vector: Sequence[int]) -> MigrationPlan:
         return MigrationPlan.from_vector(self.components, list(vector))
@@ -281,6 +347,7 @@ class AtlasGA:
             n_components=len(self.components),
             pinned=self._pinned_indices,
             seed=self.config.seed,
+            locations=self.locations,
         )
         pairs = [
             (self._random_vector(), self._random_vector())
@@ -297,20 +364,26 @@ class AtlasGA:
 
     # -- memetic refinement -----------------------------------------------------------------------
     def _move_candidates(self, vector: Sequence[int]) -> List[List[int]]:
-        """Neighbourhood of one plan: single flips plus joint flips of communicating pairs.
+        """Neighbourhood of one plan: single moves plus joint moves of communicating pairs.
 
         The pair moves are workflow-aware: relocating a caller together with its callee
-        keeps their interaction local, which single flips cannot express (e.g. moving a
+        keeps their interaction local, which single moves cannot express (e.g. moving a
         cache back on-prem together with the service that reads it synchronously).
+        Every move targets each of the search's locations in turn, so on a 3-site
+        topology a single gene yields two candidates (the two other sites) and a pair
+        or API path can be consolidated onto any one site.
         """
         moves: List[List[int]] = []
         n = len(vector)
         for gene in range(n):
             if gene in self._pinned_indices:
                 continue
-            candidate = list(vector)
-            candidate[gene] = CLOUD if candidate[gene] == ON_PREM else ON_PREM
-            moves.append(candidate)
+            for target in self.locations:
+                if vector[gene] == target:
+                    continue
+                candidate = list(vector)
+                candidate[gene] = target
+                moves.append(candidate)
         index = {name: i for i, name in enumerate(self.components)}
         for caller, callee in self.evaluator.performance.invocation_edges():
             i, j = index.get(caller), index.get(callee)
@@ -318,7 +391,7 @@ class AtlasGA:
                 continue
             if i in self._pinned_indices or j in self._pinned_indices:
                 continue
-            for target in (ON_PREM, CLOUD):
+            for target in self.locations:
                 if vector[i] == target and vector[j] == target:
                     continue
                 candidate = list(vector)
@@ -336,7 +409,7 @@ class AtlasGA:
             ]
             if not indices:
                 continue
-            for target in (ON_PREM, CLOUD):
+            for target in self.locations:
                 if all(vector[i] == target for i in indices):
                     continue
                 candidate = list(vector)
@@ -395,6 +468,9 @@ class AtlasGA:
     # -- main loop -------------------------------------------------------------------------------
     def run(self) -> SearchResult:
         start = time.perf_counter()
+        # Plans cached on the evaluator before this run started (e.g. by a previous
+        # run() on a shared evaluator) are not part of this run's "plans visited".
+        preexisting = self.evaluator.cache_size()
         history: Optional[TrainingHistory] = None
         if self.config.crossover == "drl":
             history = self.train_agent()
@@ -423,7 +499,9 @@ class AtlasGA:
                     child = self.agent.crossover(parent_a, parent_b, self._rng)
                 else:
                     child = uniform_crossover(parent_a, parent_b, self._rng)
-                child = bitflip_mutation(child, self._rng, self.config.mutation_rate)
+                child = bitflip_mutation(
+                    child, self._rng, self.config.mutation_rate, locations=self.locations
+                )
                 offspring.append(self._apply_pins(child))
             for _ in range(self.config.immigrants_per_generation):
                 offspring.append(self._random_vector())
@@ -452,6 +530,6 @@ class AtlasGA:
             evaluations=self.evaluator.evaluations,
             training_history=history,
             wall_clock_s=time.perf_counter() - start,
-            all_evaluated=self.evaluator.evaluated_qualities(),
+            all_evaluated=self.evaluator.evaluated_qualities()[preexisting:],
             final_population=qualities,
         )

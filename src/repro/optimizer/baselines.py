@@ -20,6 +20,11 @@ Multi-plan approaches:
 
 All baselines honour the owner's pinned placements and use the same resource estimate
 for feasibility, so the comparison isolates the placement *policy*.
+
+On N-location topologies (``BaselineContext.locations``) the single-plan heuristics —
+which are inherently two-sided "keep or offload" policies — offload to the *primary*
+remote site, while the affinity GA and random search sample every site; the
+two-location default reproduces the paper's baselines bit-for-bit.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from ..cluster.topology import CLOUD, ON_PREM
 from ..quality.evaluator import PlanQuality, QualityEvaluator
 from .nsga2 import (
     bitflip_mutation,
+    random_location_vector,
     rank_population,
     survival_selection,
     tournament_pairs,
@@ -54,6 +60,20 @@ __all__ = [
 Pair = Tuple[str, str]
 
 
+def _random_location_vector(
+    rng: np.random.Generator, n: int, offload_prob: float, context: "BaselineContext"
+) -> List[int]:
+    """Uniform random location vector; offloaded genes pick a remote site uniformly.
+
+    The two-location path keeps the exact RNG consumption of the original bit-vector
+    sampling so fixed-seed baseline runs reproduce pre-N-location results bit-for-bit;
+    N > 2 delegates to the sampler shared with the Atlas GA.
+    """
+    if context.is_binary:
+        return [int(v) for v in (rng.random(n) < offload_prob).astype(int)]
+    return random_location_vector(rng, n, offload_prob, context.locations)
+
+
 @dataclass
 class BaselineContext:
     """Shared inputs of all baselines.
@@ -62,6 +82,9 @@ class BaselineContext:
     and invocation counts per directed component pair); ``busyness`` is the mean CPU of
     each component from the component profiles; ``evaluator`` provides feasibility
     checking (on-prem limits, pins) against the same resource estimate Atlas uses.
+    ``locations`` is the topology's location-id set — the greedy/affinity heuristics
+    offload to the *primary* remote site (they are inherently two-sided policies), while
+    the GA and random-search baselines sample every site.
     """
 
     components: List[str]
@@ -69,16 +92,34 @@ class BaselineContext:
     traffic_matrix: Dict[Pair, float]
     message_matrix: Dict[Pair, float] = field(default_factory=dict)
     busyness: Dict[str, float] = field(default_factory=dict)
+    locations: Tuple[int, ...] = (ON_PREM, CLOUD)
 
     def __post_init__(self) -> None:
         if not self.components:
             raise ValueError("baseline context needs at least one component")
+        self.locations = tuple(int(loc) for loc in self.locations)
+        if ON_PREM not in self.locations or len(self.locations) < 2:
+            raise ValueError("locations must include on-prem and at least one remote site")
 
     # -- helpers -------------------------------------------------------------------------
     @property
     def movable_components(self) -> List[str]:
         pinned = self.evaluator.preferences.pinned_placement
         return [c for c in self.components if c not in pinned]
+
+    @property
+    def remote_locations(self) -> Tuple[int, ...]:
+        return tuple(loc for loc in self.locations if loc != ON_PREM)
+
+    @property
+    def primary_remote(self) -> int:
+        """The remote site the single-plan heuristics offload to (the paper's cloud)."""
+        return self.remote_locations[0]
+
+    @property
+    def is_binary(self) -> bool:
+        """True for the paper's exact two-location topology (ids 0 and 1)."""
+        return self.locations == (ON_PREM, CLOUD)
 
     def all_on_prem(self) -> MigrationPlan:
         plan = MigrationPlan.all_on_prem(self.components)
@@ -122,8 +163,9 @@ class _GreedyBaseline:
             key=lambda c: self.context.busyness.get(c, 0.0),
             reverse=self.descending,
         )
+        target = self.context.primary_remote
         for component in order:
-            plan = plan.with_location(component, CLOUD)
+            plan = plan.with_location(component, target)
             if self.context.feasible(plan):
                 return plan
         return plan  # Best effort: everything movable is offloaded.
@@ -156,6 +198,7 @@ class _AffinityHeuristicBaseline:
     def recommend(self) -> MigrationPlan:
         plan = self.context.all_on_prem()
         movable = set(self.context.movable_components)
+        target = self.context.primary_remote
         # Phase 1: offload until feasible, each step picking the component whose move
         # yields the smallest cross-datacenter affinity.
         guard = len(self.context.components) + 1
@@ -167,17 +210,17 @@ class _AffinityHeuristicBaseline:
             best = min(
                 candidates,
                 key=lambda c: self.context.cross_dc_affinity(
-                    plan.with_location(c, CLOUD), self.message_weight
+                    plan.with_location(c, target), self.message_weight
                 ),
             )
-            plan = plan.with_location(best, CLOUD)
+            plan = plan.with_location(best, target)
         # Phase 2: hill climbing on single flips that reduce affinity while staying feasible.
         for _ in range(self.improvement_passes):
             improved = False
             current_affinity = self.context.cross_dc_affinity(plan, self.message_weight)
             for component in sorted(movable):
                 flipped = plan.with_location(
-                    component, CLOUD if plan[component] == ON_PREM else ON_PREM
+                    component, target if plan[component] == ON_PREM else ON_PREM
                 )
                 if not self.context.feasible(flipped):
                     continue
@@ -251,8 +294,10 @@ class AffinityNSGA2Baseline:
 
     def _random_plan(self) -> MigrationPlan:
         offload_prob = self._rng.uniform(0.15, 0.7)
-        vector = (self._rng.random(len(self.context.components)) < offload_prob).astype(int)
-        plan = MigrationPlan.from_vector(self.context.components, [int(v) for v in vector])
+        vector = _random_location_vector(
+            self._rng, len(self.context.components), offload_prob, self.context
+        )
+        plan = MigrationPlan.from_vector(self.context.components, vector)
         pins = self.context.evaluator.preferences.pinned_placement
         return plan.with_pinned(pins) if pins else plan
 
@@ -269,7 +314,9 @@ class AffinityNSGA2Baseline:
                 child = uniform_crossover(
                     population[idx_a].to_vector(), population[idx_b].to_vector(), self._rng
                 )
-                child = bitflip_mutation(child, self._rng, self.mutation_rate)
+                child = bitflip_mutation(
+                    child, self._rng, self.mutation_rate, locations=self.context.locations
+                )
                 plan = MigrationPlan.from_vector(self.context.components, child)
                 if pins:
                     plan = plan.with_pinned(pins)
@@ -311,9 +358,17 @@ class RandomSearchBaseline:
     def recommend(self) -> List[PlanQuality]:
         pins = self.context.evaluator.preferences.pinned_placement
         feasible_plans: List[MigrationPlan] = []
+        n = len(self.context.components)
         for _ in range(self.evaluation_budget):
-            vector = (self._rng.random(len(self.context.components)) < self._rng.uniform(0.1, 0.9)).astype(int)
-            plan = MigrationPlan.from_vector(self.context.components, [int(v) for v in vector])
+            if self.context.is_binary:
+                vector = [
+                    int(v)
+                    for v in (self._rng.random(n) < self._rng.uniform(0.1, 0.9)).astype(int)
+                ]
+            else:
+                offload_prob = self._rng.uniform(0.1, 0.9)
+                vector = _random_location_vector(self._rng, n, offload_prob, self.context)
+            plan = MigrationPlan.from_vector(self.context.components, vector)
             if pins:
                 plan = plan.with_pinned(pins)
             if self.context.feasible(plan):

@@ -1,13 +1,20 @@
-"""DRL crossover agent (Section 4.2.1).
+"""DRL crossover agent (Section 4.2.1), generalized to N locations.
 
-The agent Λ_θ takes the concatenated location vectors of two parent plans and outputs a
-per-component probability of placing that component in the cloud; sampling from the
-distribution produces the offspring plan (the stochasticity plays the role of GA
-mutation).  The quality indicators are non-differentiable, so the agent is trained with
-a reward-driven actor–critic scheme: the reward (Eq. 5) is positive only for feasible
-children and grows with the number of quality aspects in which the child beats *both*
-parents; the critic provides a per-state baseline so the policy gradient has low
-variance.
+The agent Λ_θ takes the location vectors of two parent plans and outputs a
+per-component placement distribution; sampling from it produces the offspring plan
+(the stochasticity plays the role of GA mutation).  The quality indicators are
+non-differentiable, so the agent is trained with a reward-driven actor–critic scheme:
+the reward (Eq. 5) is positive only for feasible children and grows with the number of
+quality aspects in which the child beats *both* parents; the critic provides a
+per-state baseline so the policy gradient has low variance.
+
+**Action space.**  In the paper's two-location setup the actor is a sigmoid head over
+``n_components`` outputs — the per-component probability of placing the component in
+the cloud.  With N > 2 locations (``locations=(0, 1, 2, ...)``) the actor instead
+emits ``n_components x n_locations`` logits, a per-component softmax turns them into a
+categorical placement distribution, and parents are one-hot encoded by location.  The
+two-location path is kept byte-for-byte identical to the original binary agent
+(same architecture, same RNG consumption), so fixed-seed searches reproduce exactly.
 
 Implementation note — reward for infeasible children: Eq. 5 multiplies the aspect count
 by ``(-1)^(1-λ)``, which yields exactly 0 for an infeasible child that beats its parents
@@ -63,13 +70,46 @@ class CrossoverAgent:
         critic_learning_rate: float = 2e-3,
         pinned: Optional[Mapping[int, int]] = None,
         seed: int = 0,
+        locations: Sequence[int] = (0, 1),
     ) -> None:
         if n_components <= 0:
             raise ValueError("n_components must be positive")
         self.n_components = n_components
         self.pinned = dict(pinned or {})
-        self.actor = MLP(2 * n_components, hidden_dims, n_components, head="sigmoid", seed=seed)
-        self.critic = MLP(2 * n_components, hidden_dims[:2], 1, head="linear", seed=seed + 1)
+        self.locations: Tuple[int, ...] = tuple(int(loc) for loc in locations)
+        if len(self.locations) < 2:
+            raise ValueError("the agent needs at least two locations to choose from")
+        if len(set(self.locations)) != len(self.locations):
+            raise ValueError("locations must be unique")
+        self.n_locations = len(self.locations)
+        #: The paper's binary agent: sigmoid head, raw 0/1 parent encoding.  Any other
+        #: location set switches to the categorical (softmax) action space.
+        self._binary = self.locations == (0, 1)
+        self._loc_index: Dict[int, int] = {loc: i for i, loc in enumerate(self.locations)}
+        if not self._binary:
+            # The categorical agent one-hot encodes parent vectors, so every pinned
+            # location must be a member of the action space (the binary agent encodes
+            # raw ids and historically tolerated out-of-set pins).
+            invalid = sorted(
+                {int(loc) for loc in self.pinned.values()} - set(self.locations)
+            )
+            if invalid:
+                raise ValueError(
+                    f"pinned locations {invalid} are outside the agent's location set "
+                    f"{self.locations}"
+                )
+        if self._binary:
+            self.actor = MLP(
+                2 * n_components, hidden_dims, n_components, head="sigmoid", seed=seed
+            )
+            self.critic = MLP(2 * n_components, hidden_dims[:2], 1, head="linear", seed=seed + 1)
+        else:
+            state_dim = 2 * n_components * self.n_locations
+            self.actor = MLP(
+                state_dim, hidden_dims, n_components * self.n_locations,
+                head="linear", seed=seed,
+            )
+            self.critic = MLP(state_dim, hidden_dims[:2], 1, head="linear", seed=seed + 1)
         self._actor_opt = AdamOptimizer(learning_rate=learning_rate)
         self._critic_opt = AdamOptimizer(learning_rate=critic_learning_rate)
         self._rng = np.random.default_rng(seed)
@@ -79,16 +119,47 @@ class CrossoverAgent:
     def state(self, parent_a: Sequence[int], parent_b: Sequence[int]) -> np.ndarray:
         if len(parent_a) != self.n_components or len(parent_b) != self.n_components:
             raise ValueError("parent vectors must match the component count")
-        return np.concatenate(
-            [np.asarray(parent_a, dtype=float), np.asarray(parent_b, dtype=float)]
-        )
+        if self._binary:
+            return np.concatenate(
+                [np.asarray(parent_a, dtype=float), np.asarray(parent_b, dtype=float)]
+            )
+        return np.concatenate([self._one_hot(parent_a), self._one_hot(parent_b)])
+
+    def _one_hot(self, vector: Sequence[int]) -> np.ndarray:
+        encoded = np.zeros(self.n_components * self.n_locations, dtype=float)
+        for component, location in enumerate(vector):
+            encoded[component * self.n_locations + self._loc_index[int(location)]] = 1.0
+        return encoded
 
     def child_probabilities(
         self, parent_a: Sequence[int], parent_b: Sequence[int]
     ) -> np.ndarray:
-        """Per-component probability of placing the component in the cloud."""
-        probs = self.actor(self.state(parent_a, parent_b))[0]
-        return np.clip(probs, _PROB_CLIP, 1.0 - _PROB_CLIP)
+        """Placement distribution for each component.
+
+        Binary agent: shape ``(n_components,)`` — probability of the cloud (location 1).
+        N-location agent: shape ``(n_components, n_locations)`` — a categorical
+        distribution over ``self.locations`` per component.
+        """
+        out = self.actor(self.state(parent_a, parent_b))[0]
+        if self._binary:
+            return np.clip(out, _PROB_CLIP, 1.0 - _PROB_CLIP)
+        return self._softmax(out.reshape(self.n_components, self.n_locations))
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=-1, keepdims=True)
+        return np.clip(probs, _PROB_CLIP, None)
+
+    def _sample_categorical(
+        self, probs: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One location *index* per component from per-component distributions."""
+        cumulative = np.cumsum(probs, axis=1)
+        cumulative[:, -1] = np.maximum(cumulative[:, -1], 1.0)
+        draws = rng.random(self.n_components)
+        return (draws[:, None] > cumulative).sum(axis=1)
 
     def crossover(
         self,
@@ -99,7 +170,11 @@ class CrossoverAgent:
         """Sample an offspring plan; pinned components are masked to their location."""
         rng = rng or self._rng
         probs = self.child_probabilities(parent_a, parent_b)
-        child = (rng.random(self.n_components) < probs).astype(int)
+        if self._binary:
+            child = (rng.random(self.n_components) < probs).astype(int)
+        else:
+            indices = self._sample_categorical(probs, rng)
+            child = np.asarray([self.locations[int(i)] for i in indices], dtype=int)
         for index, location in self.pinned.items():
             child[index] = location
         return [int(v) for v in child]
@@ -126,9 +201,18 @@ class CrossoverAgent:
                 idx = int(self._rng.integers(0, len(parent_pairs)))
                 parent_a, parent_b = parent_pairs[idx]
                 state = self.state(parent_a, parent_b)
-                probs, actor_cache = self.actor.forward(state, keep_cache=True)
-                probs = np.clip(probs, _PROB_CLIP, 1.0 - _PROB_CLIP)
-                child = (self._rng.random(self.n_components) < probs[0]).astype(int)
+                out, actor_cache = self.actor.forward(state, keep_cache=True)
+                if self._binary:
+                    probs = np.clip(out, _PROB_CLIP, 1.0 - _PROB_CLIP)
+                    child = (self._rng.random(self.n_components) < probs[0]).astype(int)
+                else:
+                    probs = self._softmax(
+                        out[0].reshape(self.n_components, self.n_locations)
+                    )
+                    indices = self._sample_categorical(probs, self._rng)
+                    child = np.asarray(
+                        [self.locations[int(i)] for i in indices], dtype=int
+                    )
                 for index, location in self.pinned.items():
                     child[index] = location
                 reward = float(reward_fn([int(v) for v in child], parent_a, parent_b))
@@ -140,8 +224,18 @@ class CrossoverAgent:
                 advantage = reward - float(value[0, 0])
 
                 # Policy gradient: minimize -advantage * log π(child | state).
-                dlogpi_dp = child / probs[0] - (1 - child) / (1 - probs[0])
-                actor_grad_out = (-advantage * dlogpi_dp / batch_size)[None, :]
+                if self._binary:
+                    dlogpi_dp = child / probs[0] - (1 - child) / (1 - probs[0])
+                    actor_grad_out = (-advantage * dlogpi_dp / batch_size)[None, :]
+                else:
+                    # Softmax policy: d log π / d logits = onehot(child) - probs.
+                    chosen = np.zeros_like(probs)
+                    chosen[
+                        np.arange(self.n_components),
+                        [self._loc_index[int(v)] for v in child],
+                    ] = 1.0
+                    dlogpi_dlogits = (chosen - probs).reshape(1, -1)
+                    actor_grad_out = -advantage * dlogpi_dlogits / batch_size
                 grads_a = self.actor.backward(actor_cache, actor_grad_out)
                 # Critic: minimize (value - reward)^2.
                 critic_grad_out = np.array([[2.0 * (float(value[0, 0]) - reward) / batch_size]])

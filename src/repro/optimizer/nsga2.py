@@ -24,6 +24,7 @@ __all__ = [
     "survival_selection",
     "uniform_crossover",
     "bitflip_mutation",
+    "random_location_vector",
 ]
 
 Vector = Tuple[int, ...]
@@ -111,10 +112,39 @@ def survival_selection(
     return survivors
 
 
+def random_location_vector(
+    rng: np.random.Generator,
+    n: int,
+    offload_prob: float,
+    locations: Sequence[int],
+    on_prem: int = 0,
+) -> List[int]:
+    """Random N-location vector: each gene offloads with ``offload_prob`` and then
+    picks one of the remote sites uniformly.
+
+    Shared by the Atlas GA and the baseline samplers so both search the same plan
+    distribution; callers keep their own two-location fast paths (which consume the
+    RNG in the historical order) and delegate here only for N > 2.
+    """
+    remote = [loc for loc in locations if loc != on_prem]
+    if not remote:
+        raise ValueError("locations must include at least one remote site")
+    offloaded = rng.random(n) < offload_prob
+    sites = rng.integers(0, len(remote), size=n)
+    return [
+        remote[int(site)] if moved else on_prem
+        for moved, site in zip(offloaded, sites)
+    ]
+
+
 def uniform_crossover(
     parent_a: Sequence[int], parent_b: Sequence[int], rng: np.random.Generator
 ) -> List[int]:
-    """Classic uniform crossover: each gene comes from either parent with equal chance."""
+    """Classic uniform crossover: each gene comes from either parent with equal chance.
+
+    Genes are location ids, so the operator is location-count agnostic: it never
+    invents a location neither parent uses.
+    """
     if len(parent_a) != len(parent_b):
         raise ValueError("parents must have the same length")
     mask = rng.random(len(parent_a)) < 0.5
@@ -127,7 +157,11 @@ def bitflip_mutation(
     rate: float = 0.05,
     locations: Sequence[int] = (0, 1),
 ) -> List[int]:
-    """Flip each gene to a random other location with probability ``rate``."""
+    """Move each gene to a random *other* location with probability ``rate``.
+
+    Pass the topology's ``locations`` to mutate over all N sites; the default keeps the
+    paper's two-location flip.
+    """
     if not 0.0 <= rate <= 1.0:
         raise ValueError("mutation rate must be in [0, 1]")
     result = list(int(v) for v in vector)

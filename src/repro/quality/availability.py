@@ -10,12 +10,19 @@ Note on Eq. 3: the equation's quantifier reads "∀c ∈ SC(A)", but the surroun
 and the evaluation ("the number of APIs that will be unavailable during the migration
 process") make clear that an API is disrupted as soon as *any* of its stateful
 components moves; we implement that interpretation.
+
+**Per-location failure domains.**  With more than one remote site, not every
+destination is equally disruptive: migrating state to a nearby region transfers faster
+than to a far one, and sites differ in reliability.  ``location_weights`` assigns a
+disruption weight to each *destination* location; a disrupted API is charged the
+heaviest weight among the destinations its stateful components move to.  The default
+(no weights) charges every disruption 1.0 — exactly the paper's two-location QAvai.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..cluster.placement import MigrationPlan
 
@@ -41,18 +48,24 @@ class ApiAvailabilityModel:
         self,
         stateful_components_by_api: Mapping[str, Sequence[str]],
         baseline_plan: MigrationPlan,
+        location_weights: Optional[Mapping[int, float]] = None,
     ) -> None:
         self._stateful: Dict[str, Set[str]] = {
             api: set(components) for api, components in stateful_components_by_api.items()
         }
         self.baseline_plan = baseline_plan
+        self.location_weights: Dict[int, float] = dict(location_weights or {})
+        for location, weight in self.location_weights.items():
+            if weight < 0:
+                raise ValueError(f"disruption weight for location {location} must be >= 0")
         self._apis = sorted(self._stateful)
         # Projection axis per API: disruption depends only on the placements of the
         # API's stateful components, so results are cached by that tuple.
         self._projection_axis: Dict[str, List[str]] = {
             api: sorted(components) for api, components in self._stateful.items()
         }
-        self._disrupted_cache: Dict[Tuple[str, Tuple[int, ...]], bool] = {}
+        # (api, axis placements) -> (disrupted, per-location disruption factor).
+        self._disrupted_cache: Dict[Tuple[str, Tuple[int, ...]], Tuple[bool, float]] = {}
 
     @property
     def apis(self) -> List[str]:
@@ -62,17 +75,32 @@ class ApiAvailabilityModel:
         """``SC(A)`` — the stateful components the API touches."""
         return set(self._stateful.get(api, set()))
 
-    def api_disrupted(self, api: str, plan: MigrationPlan) -> bool:
-        """Whether migrating to ``plan`` disrupts the API (any stateful dependency moves)."""
+    def _resolve(self, api: str, plan: MigrationPlan) -> Tuple[bool, float]:
+        """(disrupted, failure-domain factor) of one API, projection-cached."""
         axis = self._projection_axis.get(api)
         if not axis:
-            return False
+            return (False, 0.0)
         key = (api, tuple(plan[c] for c in axis))
         cached = self._disrupted_cache.get(key)
         if cached is None:
-            cached = any(plan[c] != self.baseline_plan[c] for c in axis)
+            moved_to = [plan[c] for c in axis if plan[c] != self.baseline_plan[c]]
+            if not moved_to:
+                cached = (False, 0.0)
+            else:
+                factor = max(
+                    self.location_weights.get(location, 1.0) for location in moved_to
+                )
+                cached = (True, factor)
             self._disrupted_cache[key] = cached
         return cached
+
+    def api_disrupted(self, api: str, plan: MigrationPlan) -> bool:
+        """Whether migrating to ``plan`` disrupts the API (any stateful dependency moves)."""
+        return self._resolve(api, plan)[0]
+
+    def disruption_factor(self, api: str, plan: MigrationPlan) -> float:
+        """Failure-domain weight of the API's disruption: the heaviest destination site."""
+        return self._resolve(api, plan)[1]
 
     def disrupted_apis(self, plan: MigrationPlan) -> List[str]:
         return [api for api in self.apis if self.api_disrupted(api, plan)]
@@ -80,11 +108,19 @@ class ApiAvailabilityModel:
     def qavai(
         self, plan: MigrationPlan, api_weights: Optional[Mapping[str, float]] = None
     ) -> float:
-        """QAvai(p) = Σ_A τ_A · [A disrupted] — lower is better."""
+        """QAvai(p) = Σ_A τ_A · w_dc(A; p) · [A disrupted] — lower is better.
+
+        ``w_dc`` is the per-location failure-domain factor (1.0 when no
+        ``location_weights`` were configured, reproducing Eq. 3 verbatim).
+        """
         total = 0.0
         for api in self.apis:
-            if self.api_disrupted(api, plan):
-                total += api_weights.get(api, 1.0) if api_weights else 1.0
+            disrupted, factor = self._resolve(api, plan)
+            if disrupted:
+                weight = api_weights.get(api, 1.0) if api_weights else 1.0
+                if self.location_weights:
+                    weight *= factor
+                total += weight
         return total
 
     def estimate(

@@ -2,18 +2,23 @@
 
 The cost of a migration plan has three parts:
 
-* **Compute** (Eq. 6-7): the cluster autoscaler allocates enough cloud nodes to host the
-  expected CPU/memory demand of the offloaded components with a headroom δ; each
-  allocated node is charged per hour.
-* **Storage** (Eq. 8-9): cloud volumes start at twice the migrated data size and grow by
-  the headroom factor whenever they fill up; provisioned GB are charged per month.
+* **Compute** (Eq. 6-7): each elastic datacenter's cluster autoscaler allocates enough
+  nodes to host the expected CPU/memory demand of the components placed *at that site*
+  with a headroom δ; each allocated node is charged at that site's hourly rate.
+* **Storage** (Eq. 8-9): volumes at an elastic site start at twice the migrated data
+  size and grow by the headroom factor whenever they fill up; provisioned GB are
+  charged per month at that site's rate.
 * **Network traffic** (Eq. 10): traffic between components placed in different
-  datacenters is charged at the egress price; the expected volume is reconstructed from
-  the learned per-API network footprints and the expected API traffic.
+  datacenters is charged at the egress price of the link's endpoints; the expected
+  volume is reconstructed from the learned per-API network footprints and the expected
+  API traffic.
 
 Prices default to the generalized catalog of Appendix A (m5.large-class node at
 $0.096/h, $0.08/GB-month storage, $0.09/GB egress) and can be overridden to match any
-provider's billing catalog.
+provider's billing catalog.  In the paper's two-location setup a single catalog prices
+the single cloud; for N-location topologies pass ``catalogs`` — a mapping from elastic
+location id to that region's :class:`PricingCatalog` — and every region is autoscaled
+and billed independently.
 """
 
 from __future__ import annotations
@@ -95,10 +100,15 @@ class CloudCostModel:
         baseline_plan: MigrationPlan,
         time_compression: float = 1.0,
         charge_cloud_egress_only: bool = False,
+        catalogs: Optional[Mapping[int, PricingCatalog]] = None,
     ) -> None:
         """``time_compression`` maps simulated time to real time (the workload generator
         compresses one day into five minutes, i.e. a factor of 288): prices are charged
-        on real (uncompressed) time so a compressed day costs a full day's bill."""
+        on real (uncompressed) time so a compressed day costs a full day's bill.
+
+        ``catalogs`` maps each billable (elastic) location id to its pricing catalog;
+        when omitted, ``catalog`` prices the single cloud at location ``CLOUD`` — the
+        paper's two-location setup."""
         if time_compression <= 0:
             raise ValueError("time_compression must be positive")
         self.catalog = catalog
@@ -108,8 +118,17 @@ class CloudCostModel:
         self.baseline_plan = baseline_plan
         self.time_compression = time_compression
         self.charge_cloud_egress_only = charge_cloud_egress_only
-        self._cluster_autoscaler = ClusterAutoscaler(catalog.node_spec, catalog.autoscaler)
-        self._storage_autoscaler = StorageAutoscaler(catalog.autoscaler)
+        #: Billable locations and their catalogs; every other location is free.
+        self.catalogs: Dict[int, PricingCatalog] = (
+            dict(catalogs) if catalogs is not None else {CLOUD: catalog}
+        )
+        self._cluster_autoscalers: Dict[int, ClusterAutoscaler] = {
+            loc: ClusterAutoscaler(cat.node_spec, cat.autoscaler)
+            for loc, cat in self.catalogs.items()
+        }
+        self._storage_autoscalers: Dict[int, StorageAutoscaler] = {
+            loc: StorageAutoscaler(cat.autoscaler) for loc, cat in self.catalogs.items()
+        }
         # qcost is queried at least twice per candidate plan (objective + budget
         # constraint) on the GA hot path; memoize it by plan.
         self._qcost_cache: Dict[MigrationPlan, float] = {}
@@ -120,61 +139,128 @@ class CloudCostModel:
         return self.estimate.step_ms * self.time_compression
 
     def compute_cost(self, plan: MigrationPlan) -> Tuple[float, List[int]]:
-        """Eq. 7: per-step node counts priced at the node's hourly rate."""
-        cloud_components = plan.components_at(CLOUD)
-        cpu_series = self.estimate.aggregate_series("cpu_millicores", cloud_components)
-        mem_series = self.estimate.aggregate_series("memory_mb", cloud_components)
-        nodes = self._cluster_autoscaler.node_series(cpu_series, mem_series)
+        """Eq. 7: per-step node counts at every billable site, priced at its hourly rate.
+
+        The returned series is the elementwise total across billable locations (use
+        :meth:`node_series_by_location` for the per-site breakdown).
+        """
         step_hours = self.real_step_ms / _MS_PER_HOUR
-        cost = sum(nodes) * self.catalog.node_spec.hourly_price_usd * step_hours
-        return cost, nodes
+        cost = 0.0
+        total_nodes: List[int] = []
+        for location in sorted(self._cluster_autoscalers):
+            members = plan.components_at(location)
+            if not members:
+                # An empty site allocates zero nodes at every step — skip the two
+                # aggregation passes and the autoscaler walk on the GA hot path.
+                continue
+            cpu_series = self.estimate.aggregate_series("cpu_millicores", members)
+            mem_series = self.estimate.aggregate_series("memory_mb", members)
+            nodes = self._cluster_autoscalers[location].node_series(cpu_series, mem_series)
+            cost += (
+                sum(nodes) * self.catalogs[location].node_spec.hourly_price_usd * step_hours
+            )
+            if not total_nodes:
+                total_nodes = list(nodes)
+            else:
+                total_nodes = [a + b for a, b in zip(total_nodes, nodes)]
+        if not total_nodes:
+            total_nodes = [0] * self.estimate.steps
+        return cost, total_nodes
+
+    def node_series_by_location(self, plan: MigrationPlan) -> Dict[int, List[int]]:
+        """Per-step allocated node counts at each billable location."""
+        series: Dict[int, List[int]] = {}
+        for location, autoscaler in self._cluster_autoscalers.items():
+            members = plan.components_at(location)
+            cpu = self.estimate.aggregate_series("cpu_millicores", members)
+            mem = self.estimate.aggregate_series("memory_mb", members)
+            series[location] = autoscaler.node_series(cpu, mem)
+        return series
 
     def storage_cost(self, plan: MigrationPlan) -> float:
-        """Eq. 9: provisioned capacity series priced per GB-month."""
-        moved_stateful = [
-            c
-            for c in plan.components_at(CLOUD)
-            if self.storage_by_component.get(c, 0.0) > 0.0
-            and plan[c] != self.baseline_plan[c]
-        ]
-        cloud_stateful = [
-            c for c in plan.components_at(CLOUD) if self.storage_by_component.get(c, 0.0) > 0.0
-        ]
-        if not cloud_stateful:
-            return 0.0
-        migrated_gb = sum(self.storage_by_component[c] for c in moved_stateful)
-        usage_series = self.estimate.aggregate_series("storage_gb", cloud_stateful)
-        if not usage_series:
-            usage_series = [sum(self.storage_by_component[c] for c in cloud_stateful)]
-        capacity = self._storage_autoscaler.capacity_series(usage_series, migrated_gb)
+        """Eq. 9: provisioned capacity series per billable site, priced per GB-month."""
         step_months = self.real_step_ms / _MS_PER_MONTH
-        return sum(capacity) * self.catalog.storage_usd_per_gb_month * step_months
+        total = 0.0
+        for location in sorted(self._storage_autoscalers):
+            members = plan.components_at(location)
+            moved_stateful = [
+                c
+                for c in members
+                if self.storage_by_component.get(c, 0.0) > 0.0
+                and plan[c] != self.baseline_plan[c]
+            ]
+            site_stateful = [
+                c for c in members if self.storage_by_component.get(c, 0.0) > 0.0
+            ]
+            if not site_stateful:
+                continue
+            migrated_gb = sum(self.storage_by_component[c] for c in moved_stateful)
+            usage_series = self.estimate.aggregate_series("storage_gb", site_stateful)
+            if not usage_series:
+                usage_series = [sum(self.storage_by_component[c] for c in site_stateful)]
+            capacity = self._storage_autoscalers[location].capacity_series(
+                usage_series, migrated_gb
+            )
+            total += (
+                sum(capacity)
+                * self.catalogs[location].storage_usd_per_gb_month
+                * step_months
+            )
+        return total
+
+    def _egress_rate(self, loc_a: int, loc_b: int) -> float:
+        """Egress price of one inter-location link: the priciest billable endpoint.
+
+        A link with no billable endpoint (e.g. on-prem <-> an inelastic edge site)
+        falls back to the primary catalog's flat inter-DC rate.
+        """
+        rates = [
+            self.catalogs[loc].egress_usd_per_gb
+            for loc in (loc_a, loc_b)
+            if loc in self.catalogs
+        ]
+        return max(rates) if rates else self.catalog.egress_usd_per_gb
 
     def traffic_cost(self, plan: MigrationPlan) -> float:
-        """Eq. 10: cross-datacenter traffic priced at the egress rate."""
+        """Eq. 10: cross-datacenter traffic priced at the link's egress rate."""
         api_rates = self.estimate.api_rates
         if not api_rates:
             return 0.0
         total_requests = {api: sum(series) for api, series in api_rates.items()}
-        total_bytes = 0.0
+        # Bytes are accumulated per egress rate so regions with different prices bill
+        # independently; in the single-catalog setup there is exactly one bucket and
+        # the arithmetic is identical to the flat-rate accounting.
+        bytes_by_rate: Dict[float, float] = {}
         for api, count in total_requests.items():
             if count <= 0:
                 continue
             for (src, dst), edge in self.footprint.edges_of(api).items():
-                if plan[src] == plan[dst]:
+                src_loc, dst_loc = plan[src], plan[dst]
+                if src_loc == dst_loc:
                     continue
                 if self.charge_cloud_egress_only:
-                    # Request bytes leave the cloud only if the caller is in the cloud;
-                    # response bytes leave the cloud only if the callee is in the cloud.
-                    bytes_per_request = 0.0
-                    if plan[src] == CLOUD:
-                        bytes_per_request += edge.request_bytes
-                    if plan[dst] == CLOUD:
-                        bytes_per_request += edge.response_bytes
-                else:
-                    bytes_per_request = edge.total_bytes
-                total_bytes += count * bytes_per_request
-        return total_bytes / _BYTES_PER_GB * self.catalog.egress_usd_per_gb
+                    # Request bytes are billed only when the caller sits at a billable
+                    # site (they leave it), response bytes only when the callee does —
+                    # each at its own site's rate.
+                    if src_loc in self.catalogs:
+                        rate = self.catalogs[src_loc].egress_usd_per_gb
+                        bytes_by_rate[rate] = (
+                            bytes_by_rate.get(rate, 0.0) + count * edge.request_bytes
+                        )
+                    if dst_loc in self.catalogs:
+                        rate = self.catalogs[dst_loc].egress_usd_per_gb
+                        bytes_by_rate[rate] = (
+                            bytes_by_rate.get(rate, 0.0) + count * edge.response_bytes
+                        )
+                    continue
+                rate = self._egress_rate(src_loc, dst_loc)
+                bytes_by_rate[rate] = (
+                    bytes_by_rate.get(rate, 0.0) + count * edge.total_bytes
+                )
+        return sum(
+            total_bytes / _BYTES_PER_GB * rate
+            for rate, total_bytes in bytes_by_rate.items()
+        )
 
     # -- combined --------------------------------------------------------------------------
     def qcost(self, plan: MigrationPlan) -> float:

@@ -22,6 +22,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from ..apps.model import Application
 from ..cluster.network import NetworkModel, default_network_model
 from ..cluster.placement import MigrationPlan
+from ..cluster.topology import CLOUD, ON_PREM, HybridCluster
 from ..learning.api_profile import ApiProfile, ApiProfiler
 from ..learning.component_profile import ComponentProfile, ComponentProfiler
 from ..learning.estimator import ResourceEstimate, ResourceEstimator
@@ -47,6 +48,12 @@ class AtlasConfig:
 
     traces_per_api: int = 30
     pricing: PricingCatalog = field(default_factory=PricingCatalog)
+    #: Per-location pricing for N-location topologies: elastic location id -> that
+    #: region's catalog.  ``None`` bills the single cloud (location 1) with ``pricing``.
+    pricing_by_location: Optional[Dict[int, PricingCatalog]] = None
+    #: Per-location availability failure-domain weights (destination location id ->
+    #: disruption multiplier); ``None`` charges every disruption 1.0 (Eq. 3 verbatim).
+    availability_location_weights: Optional[Dict[int, float]] = None
     #: Simulated-time to real-time factor: the workload generator compresses one day
     #: into five minutes (factor 288), so costs are billed on uncompressed time.
     time_compression: float = 288.0
@@ -113,16 +120,40 @@ class Atlas:
         network: Optional[NetworkModel] = None,
         config: Optional[AtlasConfig] = None,
         current_plan: Optional[MigrationPlan] = None,
+        cluster: Optional[HybridCluster] = None,
     ) -> None:
+        """``cluster`` declares the topology the search runs over; omitting it keeps
+        the paper's two-location setup (locations 0 and 1).  With a cluster the search
+        space, per-region billing and the baselines all follow its datacenter list."""
         self.application = application
         self.preferences = preferences or MigrationPreferences()
         self.network = network or default_network_model()
         self.config = config or AtlasConfig()
+        self.cluster = cluster
         self.current_plan = current_plan or MigrationPlan.all_on_prem(
             application.component_names
         )
         self.telemetry: Optional[TelemetryServer] = None
         self.knowledge: Optional[ApplicationKnowledge] = None
+
+    # -- topology ---------------------------------------------------------------------------
+    @property
+    def locations(self) -> List[int]:
+        """Location ids of the search space (``[0, 1]`` without an explicit cluster)."""
+        if self.cluster is not None:
+            return self.cluster.location_ids
+        return [ON_PREM, CLOUD]
+
+    def _pricing_catalogs(self) -> Dict[int, PricingCatalog]:
+        """Billable locations and their catalogs, derived from config + cluster."""
+        if self.config.pricing_by_location is not None:
+            return dict(self.config.pricing_by_location)
+        if self.cluster is not None:
+            return {
+                dc.location_id: self.config.pricing
+                for dc in self.cluster.elastic_datacenters()
+            }
+        return {CLOUD: self.config.pricing}
 
     # -- stage 1: application learning ------------------------------------------------------
     def learn(self, telemetry: TelemetryServer) -> ApplicationKnowledge:
@@ -184,6 +215,7 @@ class Atlas:
         availability = ApiAvailabilityModel(
             stateful_components_by_api=knowledge.stateful_components_by_api(),
             baseline_plan=self.current_plan,
+            location_weights=self.config.availability_location_weights,
         )
         storage_by_component = {
             comp.name: comp.resources.storage_gb for comp in self.application.components
@@ -195,6 +227,7 @@ class Atlas:
             storage_by_component=storage_by_component,
             baseline_plan=self.current_plan,
             time_compression=self.config.time_compression,
+            catalogs=self._pricing_catalogs(),
         )
         return QualityEvaluator(
             performance=performance,
@@ -224,6 +257,7 @@ class Atlas:
             self.application.component_names,
             config=config,
             seed_vectors=self._seed_vectors(evaluator, config),
+            locations=self.locations,
         )
         result = ga.run()
         return Recommendation(
@@ -251,6 +285,7 @@ class Atlas:
             is_feasible=evaluator.is_feasible,
             rng=np.random.default_rng(config.seed + 101),
             count=4,
+            locations=self.locations,
         )
 
     # -- baselines support ------------------------------------------------------------------------
@@ -272,6 +307,7 @@ class Atlas:
             traffic_matrix=telemetry.traffic_matrix(),
             message_matrix=message_matrix,
             busyness=busyness,
+            locations=tuple(self.locations),
         )
 
     # -- stage 3: monitoring ------------------------------------------------------------------------
