@@ -162,7 +162,9 @@ def run_methods(
                 plans = [q.plan for q in qualities]
         else:
             raise ValueError(f"unknown method {name!r}")
-        evaluated = [reference.evaluate(plan) for plan in plans]
+        # One batched pass through the shared reference evaluator (identical to
+        # per-plan evaluate calls, including cache/counter behaviour).
+        evaluated = reference.evaluate_batch(plans)
         results[name] = MethodResult(
             name=name,
             plans=evaluated,

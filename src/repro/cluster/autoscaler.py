@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Mapping, Sequence
 
+import numpy as np
+
 from .topology import NodeSpec
 
 __all__ = ["ClusterAutoscaler", "StorageAutoscaler", "AutoscalerConfig"]
@@ -70,6 +72,32 @@ class ClusterAutoscaler:
             raise ValueError("cpu and memory series must have the same length")
         return [self.nodes_for(c, m) for c, m in zip(cpu_series, memory_series)]
 
+    def nodes_for_series(
+        self, cpu_demand: np.ndarray, memory_demand: np.ndarray
+    ) -> np.ndarray:
+        """Node counts for a whole demand matrix at once (vectorized Eq. 6).
+
+        ``cpu_demand``/``memory_demand`` are aligned arrays of any matching shape —
+        typically a ``(plans, steps)`` matrix covering an entire GA generation.  Each
+        output element equals :meth:`nodes_for` of the corresponding demand pair
+        exactly (same float64 arithmetic, so the batched cost pipeline is bitwise
+        identical to the per-plan walk).
+        """
+        cpu = np.asarray(cpu_demand, dtype=np.float64)
+        mem = np.asarray(memory_demand, dtype=np.float64)
+        if cpu.shape != mem.shape:
+            raise ValueError("cpu and memory demand must have the same shape")
+        if cpu.size and (cpu.min() < 0 or mem.min() < 0):
+            raise ValueError("resource demand must be non-negative")
+        by_cpu = np.ceil(
+            (1.0 + self.config.cpu_headroom) * cpu / self.node_spec.cpu_millicores
+        )
+        by_mem = np.ceil(
+            (1.0 + self.config.memory_headroom) * mem / self.node_spec.memory_mb
+        )
+        nodes = np.maximum(np.maximum(by_cpu, by_mem), 1.0)
+        return np.where((cpu == 0.0) & (mem == 0.0), 0.0, nodes).astype(np.int64)
+
 
 class StorageAutoscaler:
     """Computes the provisioned cloud storage capacity over time (Eq. 8).
@@ -103,3 +131,38 @@ class StorageAutoscaler:
                 capacity = float(math.ceil((1.0 + delta) * usage))
             series.append(capacity)
         return series
+
+    def capacity_matrix(
+        self, usage_matrix: np.ndarray, migrated_gb: np.ndarray
+    ) -> np.ndarray:
+        """Provisioned capacity for a batch of usage series at once (vectorized Eq. 8).
+
+        ``usage_matrix`` is ``(plans, steps)`` and ``migrated_gb`` the per-plan
+        migrated data size; row ``p`` of the result equals
+        ``capacity_series(usage_matrix[p], migrated_gb[p])`` element for element (the
+        stateful capacity walk runs over the step axis with all plans advanced in
+        lock-step, using the exact scalar float arithmetic).
+        """
+        usage = np.asarray(usage_matrix, dtype=np.float64)
+        migrated = np.asarray(migrated_gb, dtype=np.float64)
+        if usage.ndim != 2 or migrated.shape != (usage.shape[0],):
+            raise ValueError("need a (plans, steps) usage matrix and one migrated size per plan")
+        if usage.size and usage.min() < 0:
+            raise ValueError("storage usage must be non-negative")
+        if migrated.size and migrated.min() < 0:
+            raise ValueError("migrated data size must be non-negative")
+        delta = self.config.storage_headroom
+        capacity = 2.0 * migrated
+        out = np.empty_like(usage)
+        for step in range(usage.shape[1]):
+            used = usage[:, step]
+            with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                grow = (capacity > 0) & ((1.0 - used / capacity) <= delta)
+            seed = (capacity == 0) & (used > 0)
+            capacity = np.where(
+                grow,
+                np.ceil((1.0 + delta) * capacity),
+                np.where(seed, np.ceil((1.0 + delta) * used), capacity),
+            )
+            out[:, step] = capacity
+        return out

@@ -87,6 +87,40 @@ class ResourceEstimate:
         series = self.aggregate_series(resource, components)
         return max(series) if series else 0.0
 
+    def aggregate_matrix(
+        self, resource: str, members: "np.ndarray", columns: Sequence[str]
+    ) -> "np.ndarray":
+        """Per-plan aggregate series for a whole batch of component subsets.
+
+        ``members`` is a ``(plans, len(columns))`` boolean matrix selecting, per plan,
+        the components (named by ``columns``) to sum; returns ``(plans, steps)``.
+        Rows are accumulated one component at a time in the same storage order as
+        :meth:`aggregate_series`, so every output row is bitwise equal to the scalar
+        aggregation of that plan's subset.
+        """
+        rows, matrix = self._matrix(resource)
+        members = np.asarray(members, dtype=bool)
+        steps = matrix.shape[1] if matrix.size else self.steps
+        totals = np.zeros((members.shape[0], steps), dtype=np.float64)
+        column_of = {name: i for i, name in enumerate(columns)}
+        for component, row in rows.items():
+            column = column_of.get(component)
+            if column is None:
+                continue
+            selected = members[:, column]
+            if selected.any():
+                totals[selected] += matrix[row]
+        return totals
+
+    def peak_matrix(
+        self, resource: str, members: "np.ndarray", columns: Sequence[str]
+    ) -> "np.ndarray":
+        """Per-plan peak of one resource over per-plan component subsets."""
+        totals = self.aggregate_matrix(resource, members, columns)
+        if totals.shape[1] == 0:
+            return np.zeros(totals.shape[0], dtype=np.float64)
+        return totals.max(axis=1)
+
 
 class ResourceEstimator:
     """API-aware linear resource estimator (DeepRest substitute).

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,8 @@ from ..cluster.topology import CLOUD, ON_PREM
 from ..quality.evaluator import PlanQuality, QualityEvaluator
 from .drl.agent import CrossoverAgent, TrainingHistory
 from .nsga2 import (
+    allowed_repair_targets,
+    apply_allowed_repair,
     bitflip_mutation,
     random_location_vector,
     rank_population,
@@ -61,6 +63,7 @@ def affinity_seed_vectors(
     count: int = 4,
     noise: float = 0.15,
     locations: Sequence[int] = (ON_PREM, CLOUD),
+    allowed_locations: Optional[Mapping[str, Sequence[int]]] = None,
 ) -> List[List[int]]:
     """Population seeds derived from the learned traffic matrix.
 
@@ -72,16 +75,32 @@ def affinity_seed_vectors(
     seeds are ordinary visited plans and count against the evaluation budget like any
     other candidate.
 
+    ``is_feasible`` receives the candidate *location vector* (ordered like
+    ``components``) — seeding stays in vector space like the rest of the search, and
+    callers typically pass a thin wrapper over
+    :meth:`~repro.quality.evaluator.QualityEvaluator.feasible_mask`.
+
     With N locations the greedy offload targets the *primary* remote site (the first
     non-on-prem id in ``locations``): the cut-traffic objective cannot distinguish
     remote sites from one another, so the seeds stay two-sided and the GA's own
-    operators spread load across the remaining regions.
+    operators spread load across the remaining regions.  Components whose
+    ``allowed_locations`` whitelist excludes the primary remote are never offloaded by
+    the seeding (the GA's own operators may still place them at their permitted
+    sites).
     """
     remote = [loc for loc in locations if loc != ON_PREM]
     if not remote:
         raise ValueError("locations must include at least one remote site")
     primary_remote = remote[0]
-    movable = [c for c in components if c not in pinned]
+    allowed_locations = allowed_locations or {}
+
+    def may_use_primary(component: str) -> bool:
+        allowed = allowed_locations.get(component)
+        return allowed is None or primary_remote in allowed
+
+    movable = [
+        c for c in components if c not in pinned and may_use_primary(c)
+    ]
     member = set(components)
     # Per-component incident traffic (both directions, self-edges excluded): flipping c
     # changes the cut by the incident weight toward same-side neighbours minus the
@@ -123,10 +142,12 @@ def affinity_seed_vectors(
                     delta -= bytes_
             return delta
 
+        def vector() -> List[int]:
+            return [assignment[c] for c in components]
+
         current_cut = cut_traffic()
         guard = len(components) + 1
-        plan = MigrationPlan(assignment, order=components)
-        while not is_feasible(plan) and guard > 0:
+        while not is_feasible(vector()) and guard > 0:
             guard -= 1
             candidates = [c for c in movable if assignment[c] == ON_PREM]
             if not candidates:
@@ -138,7 +159,6 @@ def affinity_seed_vectors(
             _score, chosen = min(scored)
             current_cut += flip_delta(chosen)
             assignment[chosen] = primary_remote
-            plan = MigrationPlan(assignment, order=components)
         # Keep flipping single components while it reduces the cut and stays feasible, so
         # the seed sits at a local optimum of the traffic objective (the basin affinity
         # methods search); the GA then refines it under the API-centric objectives.
@@ -151,15 +171,14 @@ def affinity_seed_vectors(
                 flipped = primary_remote if assignment[c] == ON_PREM else ON_PREM
                 original = assignment[c]
                 assignment[c] = flipped
-                candidate_plan = MigrationPlan(assignment, order=components)
-                if is_feasible(candidate_plan):
+                if is_feasible(vector()):
                     current_cut += delta
                     improved = True
                 else:
                     assignment[c] = original
             if not improved:
                 break
-        seeds.append([assignment[c] for c in components])
+        seeds.append(vector())
     return seeds
 
 
@@ -295,14 +314,49 @@ class AtlasGA:
                     f"components {invalid} are pinned to locations outside the search "
                     f"space {self.locations}"
                 )
-        self.seed_vectors = [self._apply_pins(list(v)) for v in (seed_vectors or [])]
+        # Per-gene allowed-location sets (the owner's whitelists restricted to the
+        # search space) plus the shared deterministic repair map.
+        self._allowed_indices: Dict[int, Tuple[int, ...]] = {}
+        for component, allowed in evaluator.preferences.allowed_locations.items():
+            if component not in self.components:
+                continue
+            index = self.components.index(component)
+            if index in self._pinned_indices:
+                continue
+            self._allowed_indices[index] = tuple(
+                loc for loc in self.locations if loc in allowed
+            )
+        self._allowed_repair = allowed_repair_targets(
+            self._allowed_indices, self.locations, on_prem=ON_PREM
+        )
+        self.seed_vectors = [self._apply_constraints(list(v)) for v in (seed_vectors or [])]
         self.agent: Optional[CrossoverAgent] = None
 
     # -- plan helpers ---------------------------------------------------------------------
-    def _apply_pins(self, vector: List[int]) -> List[int]:
+    def _apply_constraints(self, vector: List[int]) -> List[int]:
+        """Force pinned genes to their location and repair whitelist violations.
+
+        The repair is deterministic (no RNG): a gene drawn at a disallowed site moves
+        to the component's first permitted remote site, keeping the offload intent,
+        or back on-prem when no remote site is permitted.  With no whitelists this
+        reduces to the historical pin application, so fixed-seed trajectories are
+        unchanged.
+        """
         for index, location in self._pinned_indices.items():
             vector[index] = location
+        apply_allowed_repair(vector, self._allowed_repair, on_prem=ON_PREM)
         return vector
+
+    def _gene_permits(self, index: int, target: int) -> bool:
+        """Whether the component's whitelist allows the target location.
+
+        Keeps the elite local search from spending evaluation budget on moves that
+        the location-violation mask is guaranteed to reject.
+        """
+        if target == ON_PREM:
+            return True
+        permitted = self._allowed_indices.get(index)
+        return permitted is None or target in permitted
 
     def _random_vector(self) -> List[int]:
         # Spread the initial population across offload ratios: when the on-prem cluster
@@ -311,11 +365,11 @@ class AtlasGA:
         offload_prob = self._rng.uniform(0.1, 0.95)
         if self._binary:
             vector = (self._rng.random(len(self.components)) < offload_prob).astype(int)
-            return self._apply_pins([int(v) for v in vector])
+            return self._apply_constraints([int(v) for v in vector])
         vector = random_location_vector(
             self._rng, len(self.components), offload_prob, self.locations
         )
-        return self._apply_pins(vector)
+        return self._apply_constraints(vector)
 
     def _to_plan(self, vector: Sequence[int]) -> MigrationPlan:
         return MigrationPlan.from_vector(self.components, list(vector))
@@ -327,8 +381,8 @@ class AtlasGA:
         parent_a: Sequence[int],
         parent_b: Sequence[int],
     ) -> float:
-        child, qa, qb = self.evaluator.evaluate_batch(
-            [self._to_plan(child_vector), self._to_plan(parent_a), self._to_plan(parent_b)]
+        child, qa, qb = self.evaluator.evaluate_vectors(
+            [list(child_vector), list(parent_a), list(parent_b)], self.components
         )
         improved = 0
         for child_value, a_value, b_value in zip(
@@ -348,6 +402,7 @@ class AtlasGA:
             pinned=self._pinned_indices,
             seed=self.config.seed,
             locations=self.locations,
+            allowed=self._allowed_indices,
         )
         pairs = [
             (self._random_vector(), self._random_vector())
@@ -379,7 +434,7 @@ class AtlasGA:
             if gene in self._pinned_indices:
                 continue
             for target in self.locations:
-                if vector[gene] == target:
+                if vector[gene] == target or not self._gene_permits(gene, target):
                     continue
                 candidate = list(vector)
                 candidate[gene] = target
@@ -393,6 +448,8 @@ class AtlasGA:
                 continue
             for target in self.locations:
                 if vector[i] == target and vector[j] == target:
+                    continue
+                if not (self._gene_permits(i, target) and self._gene_permits(j, target)):
                     continue
                 candidate = list(vector)
                 candidate[i] = target
@@ -411,6 +468,8 @@ class AtlasGA:
                 continue
             for target in self.locations:
                 if all(vector[i] == target for i in indices):
+                    continue
+                if not all(self._gene_permits(i, target) for i in indices):
                     continue
                 candidate = list(vector)
                 for i in indices:
@@ -451,9 +510,7 @@ class AtlasGA:
                     break
                 chunk = moves[position : position + remaining]
                 position += len(chunk)
-                qualities_chunk = self.evaluator.evaluate_batch(
-                    [self._to_plan(candidate) for candidate in chunk]
-                )
+                qualities_chunk = self.evaluator.evaluate_vectors(chunk, self.components)
                 for candidate, candidate_quality in zip(chunk, qualities_chunk):
                     if (
                         candidate_quality.feasible
@@ -480,8 +537,8 @@ class AtlasGA:
             self._random_vector()
             for _ in range(max(self.config.population_size - len(population), 0))
         ]
-        qualities: List[PlanQuality] = self.evaluator.evaluate_batch(
-            [self._to_plan(v) for v in population]
+        qualities: List[PlanQuality] = self.evaluator.evaluate_vectors(
+            population, self.components
         )
         generations = 0
         while (
@@ -502,7 +559,7 @@ class AtlasGA:
                 child = bitflip_mutation(
                     child, self._rng, self.config.mutation_rate, locations=self.locations
                 )
-                offspring.append(self._apply_pins(child))
+                offspring.append(self._apply_constraints(child))
             for _ in range(self.config.immigrants_per_generation):
                 offspring.append(self._random_vector())
             if (
@@ -510,8 +567,8 @@ class AtlasGA:
                 and generations % self.config.local_search_period == 0
             ):
                 offspring.extend(self._elite_local_search(population, qualities))
-            offspring_quality = self.evaluator.evaluate_batch(
-                [self._to_plan(v) for v in offspring]
+            offspring_quality = self.evaluator.evaluate_vectors(
+                offspring, self.components
             )
 
             combined = population + offspring

@@ -18,13 +18,22 @@ Multi-plan approaches:
 * :class:`RandomSearchBaseline` — uniformly random feasible plans, keeping the Pareto
   set under Atlas's own quality model.
 
-All baselines honour the owner's pinned placements and use the same resource estimate
-for feasibility, so the comparison isolates the placement *policy*.
+All baselines honour the owner's pinned placements (and per-component
+allowed-locations whitelists) and use the same resource estimate for feasibility, so
+the comparison isolates the placement *policy*.
 
-On N-location topologies (``BaselineContext.locations``) the single-plan heuristics —
-which are inherently two-sided "keep or offload" policies — offload to the *primary*
-remote site, while the affinity GA and random search sample every site; the
-two-location default reproduces the paper's baselines bit-for-bit.
+On N-location topologies (``BaselineContext.locations``) the single-plan heuristics
+are region-aware: each offloaded component goes to its cheapest/closest *permitted*
+remote site — the greedy baselines rank candidate sites by the actual cost model, the
+affinity heuristics by the cross-datacenter affinity of the resulting plan, with ties
+broken by the static catalog-price/proximity preference.  The affinity GA and random
+search sample every site natively.  The two-location topology reproduces the paper's
+baselines bit-for-bit (a single remote site makes every ranking trivial).
+
+The multi-plan baselines are matrix-native: populations are location vectors scored
+through the evaluator's plan-matrix pipeline (``feasible_mask``, ``qcost_batch``,
+``evaluate_vectors``); :class:`MigrationPlan` objects are built only for the returned
+fronts.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..cluster.network import NetworkModel
 from ..cluster.placement import MigrationPlan
 from ..cluster.topology import CLOUD, ON_PREM
 from ..quality.evaluator import PlanQuality, QualityEvaluator
@@ -93,6 +103,9 @@ class BaselineContext:
     message_matrix: Dict[Pair, float] = field(default_factory=dict)
     busyness: Dict[str, float] = field(default_factory=dict)
     locations: Tuple[int, ...] = (ON_PREM, CLOUD)
+    #: Topology network model; lets the single-plan heuristics break price ties by
+    #: proximity to the on-prem site.  Optional — without it ties fall back to ids.
+    network: Optional[NetworkModel] = None
 
     def __post_init__(self) -> None:
         if not self.components:
@@ -100,6 +113,7 @@ class BaselineContext:
         self.locations = tuple(int(loc) for loc in self.locations)
         if ON_PREM not in self.locations or len(self.locations) < 2:
             raise ValueError("locations must include on-prem and at least one remote site")
+        self._site_preference: Optional[List[int]] = None
 
     # -- helpers -------------------------------------------------------------------------
     @property
@@ -129,6 +143,66 @@ class BaselineContext:
     def feasible(self, plan: MigrationPlan) -> bool:
         return self.evaluator.is_feasible(plan)
 
+    # -- region awareness -----------------------------------------------------------------
+    def site_preference(self) -> List[int]:
+        """Remote sites cheapest-first (node, storage, egress price), ties by proximity.
+
+        The static ranking the single-plan heuristics use to break ties between
+        otherwise equivalent sites; an unbillable site (no catalog) ranks last.
+        Computed once — catalogs and network are immutable for a context's lifetime —
+        because the affinity heuristics consult it in their innermost loops.
+        """
+        if self._site_preference is not None:
+            return list(self._site_preference)
+        cost_model = self.evaluator.cost
+
+        def rank(location: int) -> Tuple:
+            catalog = cost_model.catalogs.get(location)
+            prices = (
+                (
+                    catalog.node_spec.hourly_price_usd,
+                    catalog.storage_usd_per_gb_month,
+                    catalog.egress_usd_per_gb,
+                )
+                if catalog is not None
+                else (float("inf"),) * 3
+            )
+            if self.network is not None and self.network.has_link(ON_PREM, location):
+                proximity = self.network.latency_ms(ON_PREM, location)
+            else:
+                proximity = float("inf")
+            return (*prices, proximity, location)
+
+        self._site_preference = sorted(self.remote_locations, key=rank)
+        return list(self._site_preference)
+
+    def permitted_remote_sites(self, component: str) -> Tuple[int, ...]:
+        """Remote sites the owner's allowed-locations whitelist permits, pref-ordered."""
+        return self.evaluator.preferences.allowed_remote_sites(
+            component, self.site_preference()
+        )
+
+    def best_site_for(self, component: str, plan: MigrationPlan) -> Optional[int]:
+        """Cheapest permitted remote site for offloading one component of this plan.
+
+        Candidate sites are ranked by the actual cost model (QCost of the resulting
+        plan) with ties broken by the static :meth:`site_preference`; returns ``None``
+        when the whitelist leaves no remote site.  With a single remote site this is
+        the paper's two-location offload target.
+        """
+        sites = self.permitted_remote_sites(component)
+        if not sites:
+            return None
+        if len(sites) == 1:
+            return sites[0]
+        return min(
+            enumerate(sites),
+            key=lambda ranked: (
+                self.evaluator.cost.qcost(plan.with_location(component, ranked[1])),
+                ranked[0],
+            ),
+        )[1]
+
     def cross_dc_affinity(
         self, plan: MigrationPlan, message_weight: float = 0.0
     ) -> float:
@@ -142,6 +216,32 @@ class BaselineContext:
                 if message_weight > 0.0:
                     total += message_weight * self.message_matrix.get((src, dst), 0.0)
         return total
+
+    def cross_dc_affinity_batch(
+        self, plan_matrix: np.ndarray, message_weight: float = 0.0
+    ) -> np.ndarray:
+        """Batched :meth:`cross_dc_affinity` over a plan matrix (bitwise identical).
+
+        Accumulates entry by entry in the scalar iteration order so each total keeps
+        the exact float summation sequence.
+        """
+        matrix = np.asarray(plan_matrix, dtype=np.int64)
+        column_of = {c: i for i, c in enumerate(self.components)}
+        totals = np.zeros(matrix.shape[0], dtype=np.float64)
+        for (src, dst), traffic in self.traffic_matrix.items():
+            src_col = column_of.get(src)
+            dst_col = column_of.get(dst)
+            if src_col is None or dst_col is None:
+                continue
+            crossing = matrix[:, src_col] != matrix[:, dst_col]
+            if not crossing.any():
+                continue
+            totals[crossing] += traffic
+            if message_weight > 0.0:
+                totals[crossing] += message_weight * self.message_matrix.get(
+                    (src, dst), 0.0
+                )
+        return totals
 
 
 class _GreedyBaseline:
@@ -163,8 +263,12 @@ class _GreedyBaseline:
             key=lambda c: self.context.busyness.get(c, 0.0),
             reverse=self.descending,
         )
-        target = self.context.primary_remote
         for component in order:
+            # Region-aware offload: each component goes to its cheapest permitted
+            # remote site (the paper's single cloud when there is only one).
+            target = self.context.best_site_for(component, plan)
+            if target is None:
+                continue
             plan = plan.with_location(component, target)
             if self.context.feasible(plan):
                 return plan
@@ -195,39 +299,69 @@ class _AffinityHeuristicBaseline:
         self.context = context
         self.improvement_passes = improvement_passes
 
+    def _best_affinity_site(
+        self, plan: MigrationPlan, component: str
+    ) -> Optional[Tuple[int, float]]:
+        """Permitted remote site minimizing the move's affinity, with that affinity.
+
+        Ties break by the static site preference (the order
+        ``permitted_remote_sites`` already returns).
+        """
+        best: Optional[Tuple[int, float]] = None
+        for site in self.context.permitted_remote_sites(component):
+            affinity = self.context.cross_dc_affinity(
+                plan.with_location(component, site), self.message_weight
+            )
+            if best is None or affinity < best[1]:
+                best = (site, affinity)
+        return best
+
     def recommend(self) -> MigrationPlan:
         plan = self.context.all_on_prem()
         movable = set(self.context.movable_components)
-        target = self.context.primary_remote
-        # Phase 1: offload until feasible, each step picking the component whose move
-        # yields the smallest cross-datacenter affinity.
+        # Phase 1: offload until feasible, each step picking the (component, permitted
+        # site) whose move yields the smallest cross-datacenter affinity.
         guard = len(self.context.components) + 1
         while not self.context.feasible(plan) and guard > 0:
             guard -= 1
             candidates = [c for c in movable if plan[c] == ON_PREM]
             if not candidates:
                 break
-            best = min(
-                candidates,
-                key=lambda c: self.context.cross_dc_affinity(
-                    plan.with_location(c, target), self.message_weight
-                ),
+            moves = [
+                (c, choice)
+                for c, choice in (
+                    (c, self._best_affinity_site(plan, c)) for c in candidates
+                )
+                if choice is not None
+            ]
+            if not moves:
+                break
+            best_component, (best_site, _affinity) = min(
+                moves, key=lambda move: move[1][1]
             )
-            plan = plan.with_location(best, target)
-        # Phase 2: hill climbing on single flips that reduce affinity while staying feasible.
+            plan = plan.with_location(best_component, best_site)
+        # Phase 2: hill climbing on single moves (to on-prem or any permitted remote
+        # site) that reduce affinity while staying feasible.
         for _ in range(self.improvement_passes):
             improved = False
             current_affinity = self.context.cross_dc_affinity(plan, self.message_weight)
             for component in sorted(movable):
-                flipped = plan.with_location(
-                    component, target if plan[component] == ON_PREM else ON_PREM
-                )
-                if not self.context.feasible(flipped):
-                    continue
-                affinity = self.context.cross_dc_affinity(flipped, self.message_weight)
-                if affinity < current_affinity:
-                    plan, current_affinity = flipped, affinity
-                    improved = True
+                targets = [ON_PREM] if plan[component] != ON_PREM else []
+                targets += [
+                    site
+                    for site in self.context.permitted_remote_sites(component)
+                    if site != plan[component]
+                ]
+                for target in targets:
+                    flipped = plan.with_location(component, target)
+                    if not self.context.feasible(flipped):
+                        continue
+                    affinity = self.context.cross_dc_affinity(
+                        flipped, self.message_weight
+                    )
+                    if affinity < current_affinity:
+                        plan, current_affinity = flipped, affinity
+                        improved = True
             if not improved:
                 break
         return plan
@@ -283,59 +417,77 @@ class AffinityNSGA2Baseline:
         self._evaluations = 0
 
     # -- objectives -----------------------------------------------------------------------
-    def _objectives(self, plan: MigrationPlan) -> Tuple[float, float]:
-        self._evaluations += 1
-        traffic = self.context.cross_dc_affinity(plan)
-        cost = self.context.evaluator.cost.qcost(plan)
-        if not self.context.feasible(plan):
-            penalty = 1e12
-            return (traffic + penalty, cost + penalty)
-        return (traffic, cost)
+    def _apply_pins(self, vector: List[int]) -> List[int]:
+        for component, location in self.context.evaluator.preferences.pinned_placement.items():
+            vector[self.context.components.index(component)] = location
+        return vector
 
-    def _random_plan(self) -> MigrationPlan:
+    def _objectives_batch(
+        self, vectors: Sequence[Sequence[int]]
+    ) -> List[Tuple[float, float]]:
+        """(cross-DC traffic, cloud cost) of a whole population in three array passes.
+
+        Affinity, cost and feasibility each come from the batched pipeline; values
+        (including the infeasibility penalty) are bitwise identical to the historical
+        per-plan scoring, and the evaluation counter advances once per vector.
+        """
+        self._evaluations += len(vectors)
+        matrix = np.asarray(vectors, dtype=np.int64)
+        components = self.context.components
+        traffic = self.context.cross_dc_affinity_batch(matrix)
+        cost = self.context.evaluator.cost.qcost_batch(matrix, components)
+        feasible = self.context.evaluator.feasible_mask(matrix, components)
+        objectives: List[Tuple[float, float]] = []
+        for plan_traffic, plan_cost, ok in zip(
+            traffic.tolist(), cost.tolist(), feasible.tolist()
+        ):
+            if not ok:
+                penalty = 1e12
+                objectives.append((plan_traffic + penalty, plan_cost + penalty))
+            else:
+                objectives.append((plan_traffic, plan_cost))
+        return objectives
+
+    def _random_vector(self) -> List[int]:
         offload_prob = self._rng.uniform(0.15, 0.7)
         vector = _random_location_vector(
             self._rng, len(self.context.components), offload_prob, self.context
         )
-        plan = MigrationPlan.from_vector(self.context.components, vector)
-        pins = self.context.evaluator.preferences.pinned_placement
-        return plan.with_pinned(pins) if pins else plan
+        return self._apply_pins(vector)
 
     def recommend(self) -> AffinityNSGA2Result:
-        pins = self.context.evaluator.preferences.pinned_placement
-        population = [self._random_plan() for _ in range(self.population_size)]
-        objectives = [self._objectives(p) for p in population]
+        components = self.context.components
+        population = [self._random_vector() for _ in range(self.population_size)]
+        objectives = self._objectives_batch(population)
         offspring_count = max(self.population_size // 2, 2)
         while self._evaluations < self.evaluation_budget:
             ranked = rank_population(objectives)
             pairs = tournament_pairs(ranked, offspring_count, self._rng)
-            offspring: List[MigrationPlan] = []
+            offspring: List[List[int]] = []
             for idx_a, idx_b in pairs:
-                child = uniform_crossover(
-                    population[idx_a].to_vector(), population[idx_b].to_vector(), self._rng
-                )
+                child = uniform_crossover(population[idx_a], population[idx_b], self._rng)
                 child = bitflip_mutation(
                     child, self._rng, self.mutation_rate, locations=self.context.locations
                 )
-                plan = MigrationPlan.from_vector(self.context.components, child)
-                if pins:
-                    plan = plan.with_pinned(pins)
-                offspring.append(plan)
-            offspring_objectives = [self._objectives(p) for p in offspring]
+                offspring.append(self._apply_pins(child))
+            offspring_objectives = self._objectives_batch(offspring)
             combined = population + offspring
             combined_objectives = objectives + offspring_objectives
             survivors = survival_selection(combined_objectives, self.population_size)
             population = [combined[i] for i in survivors]
             objectives = [combined_objectives[i] for i in survivors]
+        keep = self.context.evaluator.feasible_mask(population, components)
         feasible = [
-            (plan, obj)
-            for plan, obj in zip(population, objectives)
-            if self.context.feasible(plan)
+            (vector, objective)
+            for vector, objective, ok in zip(population, objectives, keep)
+            if ok
         ]
         front = pareto_front(feasible, key=lambda item: item[1])
         return AffinityNSGA2Result(
-            plans=[plan for plan, _obj in front],
-            objectives=[obj for _plan, obj in front],
+            plans=[
+                MigrationPlan.from_vector(components, vector) for vector, _obj in front
+            ],
+            objectives=[obj for _vector, obj in front],
             evaluations=self._evaluations,
         )
 
@@ -356,9 +508,14 @@ class RandomSearchBaseline:
         self._rng = np.random.default_rng(seed)
 
     def recommend(self) -> List[PlanQuality]:
+        components = self.context.components
         pins = self.context.evaluator.preferences.pinned_placement
-        feasible_plans: List[MigrationPlan] = []
-        n = len(self.context.components)
+        pin_columns = [
+            (components.index(component), location)
+            for component, location in pins.items()
+        ]
+        n = len(components)
+        vectors: List[List[int]] = []
         for _ in range(self.evaluation_budget):
             if self.context.is_binary:
                 vector = [
@@ -368,12 +525,13 @@ class RandomSearchBaseline:
             else:
                 offload_prob = self._rng.uniform(0.1, 0.9)
                 vector = _random_location_vector(self._rng, n, offload_prob, self.context)
-            plan = MigrationPlan.from_vector(self.context.components, vector)
-            if pins:
-                plan = plan.with_pinned(pins)
-            if self.context.feasible(plan):
-                feasible_plans.append(plan)
-        # One batched evaluation for the whole feasible sample: dedup + projection
-        # caching + vectorized replay in the evaluator instead of per-plan tree walks.
-        feasible = self.context.evaluator.evaluate_batch(feasible_plans)
+            for column, location in pin_columns:
+                vector[column] = location
+            vectors.append(vector)
+        # One batched feasibility mask over the whole sample, then one batched
+        # evaluation of the feasible vectors: dedup + projection caching + vectorized
+        # replay/cost/constraint passes instead of per-plan tree walks.
+        keep = self.context.evaluator.feasible_mask(vectors, components)
+        feasible_vectors = [vector for vector, ok in zip(vectors, keep) if ok]
+        feasible = self.context.evaluator.evaluate_vectors(feasible_vectors, components)
         return pareto_front(feasible, key=lambda q: q.objectives())

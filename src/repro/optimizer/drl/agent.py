@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..nsga2 import allowed_repair_targets, apply_allowed_repair
 from .mlp import MLP, AdamOptimizer
 
 __all__ = ["CrossoverAgent", "RewardFunction", "TrainingHistory"]
@@ -71,11 +72,21 @@ class CrossoverAgent:
         pinned: Optional[Mapping[int, int]] = None,
         seed: int = 0,
         locations: Sequence[int] = (0, 1),
+        allowed: Optional[Mapping[int, Sequence[int]]] = None,
     ) -> None:
+        """``allowed`` maps component indices to their location whitelist: offspring
+        genes sampled at a disallowed site are deterministically repaired to the
+        component's first permitted remote location (or on-prem when none is), after
+        pins are applied — RNG consumption is untouched, so agents without
+        whitelists behave byte-for-byte as before."""
         if n_components <= 0:
             raise ValueError("n_components must be positive")
         self.n_components = n_components
         self.pinned = dict(pinned or {})
+        self.allowed: Dict[int, Tuple[int, ...]] = {
+            int(index): tuple(int(loc) for loc in permitted)
+            for index, permitted in (allowed or {}).items()
+        }
         self.locations: Tuple[int, ...] = tuple(int(loc) for loc in locations)
         if len(self.locations) < 2:
             raise ValueError("the agent needs at least two locations to choose from")
@@ -98,6 +109,8 @@ class CrossoverAgent:
                     f"pinned locations {invalid} are outside the agent's location set "
                     f"{self.locations}"
                 )
+        # Deterministic whitelist repair map shared with the Atlas GA.
+        self._allowed_repair = allowed_repair_targets(self.allowed, self.locations)
         if self._binary:
             self.actor = MLP(
                 2 * n_components, hidden_dims, n_components, head="sigmoid", seed=seed
@@ -175,9 +188,14 @@ class CrossoverAgent:
         else:
             indices = self._sample_categorical(probs, rng)
             child = np.asarray([self.locations[int(i)] for i in indices], dtype=int)
+        self._apply_constraints(child)
+        return [int(v) for v in child]
+
+    def _apply_constraints(self, child: np.ndarray) -> None:
+        """Pin forced genes, then repair any whitelist-violating draw (no RNG)."""
         for index, location in self.pinned.items():
             child[index] = location
-        return [int(v) for v in child]
+        apply_allowed_repair(child, self._allowed_repair)
 
     # -- training --------------------------------------------------------------------------
     def train(
@@ -213,8 +231,7 @@ class CrossoverAgent:
                     child = np.asarray(
                         [self.locations[int(i)] for i in indices], dtype=int
                     )
-                for index, location in self.pinned.items():
-                    child[index] = location
+                self._apply_constraints(child)
                 reward = float(reward_fn([int(v) for v in child], parent_a, parent_b))
                 batch_rewards.append(reward)
                 if reward > 0:

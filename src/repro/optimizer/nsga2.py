@@ -10,7 +10,7 @@ random-crossover operators so both variants can be built from the same parts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +25,8 @@ __all__ = [
     "uniform_crossover",
     "bitflip_mutation",
     "random_location_vector",
+    "allowed_repair_targets",
+    "apply_allowed_repair",
 ]
 
 Vector = Tuple[int, ...]
@@ -135,6 +137,41 @@ def random_location_vector(
         remote[int(site)] if moved else on_prem
         for moved, site in zip(offloaded, sites)
     ]
+
+
+def allowed_repair_targets(
+    allowed: Mapping[int, Sequence[int]],
+    locations: Sequence[int],
+    on_prem: int = 0,
+) -> Dict[int, Tuple[Tuple[int, ...], int]]:
+    """Per-gene (permitted locations, deterministic repair target) for whitelists.
+
+    The repair target of a restricted gene is the first permitted *remote* site in
+    ``locations`` order (keeping the offload intent of a disallowed draw), or
+    on-prem when the whitelist leaves no remote site.  Shared by the Atlas GA and
+    the DRL crossover agent so both repair identically.
+    """
+    targets: Dict[int, Tuple[Tuple[int, ...], int]] = {}
+    for index, permitted in allowed.items():
+        permitted_ids = tuple(int(loc) for loc in permitted)
+        remotes = [loc for loc in locations if loc != on_prem and loc in permitted_ids]
+        targets[int(index)] = (permitted_ids, remotes[0] if remotes else on_prem)
+    return targets
+
+
+def apply_allowed_repair(
+    vector,
+    targets: Mapping[int, Tuple[Tuple[int, ...], int]],
+    on_prem: int = 0,
+) -> None:
+    """Repair whitelist-violating genes in place (no RNG consumed).
+
+    Works on lists and numpy vectors alike; genes at the on-prem site are always
+    legal (whitelists restrict remote placements only).
+    """
+    for index, (permitted, target) in targets.items():
+        if vector[index] != on_prem and vector[index] not in permitted:
+            vector[index] = target
 
 
 def uniform_crossover(

@@ -4,16 +4,27 @@
 cost), the owner's preferences and the resource estimate into a single object that the
 optimizers query: ``evaluate(plan)`` returns a :class:`PlanQuality` with the objective
 values, feasibility and the list of violated constraints.  Evaluations are cached by
-plan, which matters because genetic search revisits plans frequently; ``evaluate_batch``
-evaluates a whole GA generation in one call (dedup → per-API plan projection → one
-vectorized compiled replay per API), which is how the optimizers are expected to drive
-it on the hot path.
+plan, which matters because genetic search revisits plans frequently.
+
+**Plan-matrix pipeline.**  The unit of batched evaluation is a ``(plans, components)``
+integer location matrix, not a list of :class:`MigrationPlan` objects:
+``evaluate_vectors`` (and ``evaluate_batch``, which lowers plan lists onto it) dedups
+the generation into one matrix and scores all three objectives plus feasibility in a
+handful of vectorized passes — one compiled replay per API for QPerf, one autoscaler
+pass per billable site for QCost, one stateful-column pass per API for QAvai, and
+boolean constraint masks for pins, location whitelists, on-prem peaks and the budget.
+Each plan's cost is computed exactly once per evaluation and reused by the budget
+check; violation strings are materialized lazily, only for infeasible plans.  The
+per-plan path (:meth:`evaluate`) is kept as the reference oracle: batched scores are
+bitwise identical to it, and the ``evaluations`` counter advances the same way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..cluster.placement import MigrationPlan
 from ..cluster.topology import ON_PREM
@@ -56,6 +67,17 @@ class PlanQuality:
         )
 
 
+@dataclass
+class _ConstraintArrays:
+    """Batched constraint masks plus the numbers violation strings are built from."""
+
+    feasible: np.ndarray
+    pin_violated: List[Tuple[str, int, np.ndarray]]
+    location_violated: List[Tuple[str, Tuple[int, ...], np.ndarray, np.ndarray]]
+    peaks: Dict[str, Tuple[float, np.ndarray]]
+    over_budget: Optional[np.ndarray]
+
+
 class QualityEvaluator:
     """Evaluates plans against the three objectives and the constraints of Eq. 4."""
 
@@ -76,11 +98,21 @@ class QualityEvaluator:
         self._weights = preferences.api_weights(performance.apis)
         self._component_order = list(component_order) if component_order else None
         self._cache: Dict[Tuple[int, ...], PlanQuality] = {}
+        #: Canonical column order of the result cache: every key is the plan's
+        #: location tuple in THIS order, so plans expressed under a permuted
+        #: component order never collide.
+        self._canonical: Tuple[str, ...] = tuple(self._columns(None))
         self.evaluations = 0
+
+    def _key(self, plan: MigrationPlan) -> Tuple[int, ...]:
+        """Cache key of one plan: its locations in the canonical component order."""
+        if tuple(plan.components) == self._canonical:
+            return tuple(plan.to_vector())
+        return tuple(plan[c] for c in self._canonical)
 
     # -- evaluation ------------------------------------------------------------------------
     def evaluate(self, plan: MigrationPlan) -> PlanQuality:
-        key = tuple(plan.to_vector())
+        key = self._key(plan)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
@@ -89,35 +121,113 @@ class QualityEvaluator:
         return quality
 
     def evaluate_batch(self, plans: Sequence[MigrationPlan]) -> List[PlanQuality]:
-        """Evaluate a whole generation in one call: dedup → project → batched replay.
+        """Evaluate a whole generation in one call by lowering it onto a plan matrix.
 
-        Distinct uncached plans are first primed through the performance model (one
-        vectorized replay per API for all cache-missing delay signatures), then scored;
-        duplicates and cache hits cost nothing.  Results and the ``evaluations``
-        counter are identical to calling :meth:`evaluate` plan by plan.
+        Distinct uncached plans are collected into one ``(plans, components)`` matrix
+        and scored by :meth:`evaluate_vectors`'s batched pipeline; duplicates and
+        cache hits cost nothing.  Results and the ``evaluations`` counter are
+        identical to calling :meth:`evaluate` plan by plan.
         """
-        keys = [tuple(plan.to_vector()) for plan in plans]
+        keys = [self._key(plan) for plan in plans]
         missing: Dict[Tuple[int, ...], MigrationPlan] = {}
         for key, plan in zip(keys, plans):
             if key not in self._cache and key not in missing:
                 missing[key] = plan
         if missing:
-            self.performance.prime(list(missing.values()))
-            for key, plan in missing.items():
-                self._cache[key] = self._evaluate_uncached(plan)
+            plans_list = list(missing.values())
+            orders = {tuple(plan.components) for plan in plans_list}
+            if len(orders) == 1:
+                matrix = np.asarray([plan.to_vector() for plan in plans_list])
+                components = plans_list[0].components
+                for key, quality in zip(
+                    missing, self._score_matrix(matrix, components, plans_list)
+                ):
+                    self._cache[key] = quality
+            else:
+                # Mixed component orders cannot share one matrix; score through the
+                # per-plan reference path.
+                self.performance.prime(plans_list)
+                for key, plan in missing.items():
+                    self._cache[key] = self._evaluate_uncached(plan)
+        return [self._cache[key] for key in keys]
+
+    def evaluate_vectors(
+        self,
+        vectors: Sequence[Sequence[int]],
+        components: Optional[Sequence[str]] = None,
+    ) -> List[PlanQuality]:
+        """Evaluate location vectors directly — the optimizers' native entry point.
+
+        ``vectors`` is anything convertible to a ``(plans, len(components))`` integer
+        matrix; ``components`` names the columns (defaults to the evaluator's
+        component order).  :class:`MigrationPlan` objects are constructed only for
+        distinct uncached rows, at the :class:`PlanQuality` API boundary.
+        """
+        matrix, components = self._lower(vectors, components)
+        keys = [tuple(row) for row in matrix.tolist()]
+        missing: Dict[Tuple[int, ...], int] = {}
+        for index, key in enumerate(keys):
+            if key not in self._cache and key not in missing:
+                missing[key] = index
+        if missing:
+            rows = matrix[list(missing.values())]
+            plans = [
+                MigrationPlan.from_vector(components, list(key)) for key in missing
+            ]
+            for key, quality in zip(missing, self._score_matrix(rows, components, plans)):
+                self._cache[key] = quality
         return [self._cache[key] for key in keys]
 
     def evaluate_many(self, plans: Sequence[MigrationPlan]) -> List[PlanQuality]:
         return self.evaluate_batch(plans)
 
+    def _score_matrix(
+        self,
+        matrix: np.ndarray,
+        components: Sequence[str],
+        plans: Sequence[MigrationPlan],
+    ) -> List[PlanQuality]:
+        """Score distinct, uncached plans in a handful of vectorized passes.
+
+        The three objective vectors, the feasibility mask and the numbers behind the
+        violation strings are each computed once for the whole matrix; results are
+        bitwise identical to the per-plan reference path.
+        """
+        perf = self.performance.qperf_batch(matrix, components, self._weights)
+        avail = self.availability.qavai_batch(matrix, components, self._weights)
+        cost = self.cost.qcost_batch(matrix, components)
+        constraints = self._constraint_arrays(matrix, components, cost)
+        qualities: List[PlanQuality] = []
+        for row, plan in enumerate(plans):
+            self.evaluations += 1
+            feasible = bool(constraints.feasible[row])
+            violations: Tuple[str, ...] = ()
+            if not feasible:
+                violations = tuple(
+                    self._materialize_violations(row, constraints, float(cost[row]))
+                )
+            qualities.append(
+                PlanQuality(
+                    plan=plan,
+                    perf=float(perf[row]),
+                    avail=float(avail[row]),
+                    cost=float(cost[row]),
+                    feasible=feasible,
+                    violations=violations,
+                )
+            )
+        return qualities
+
     def _evaluate_uncached(self, plan: MigrationPlan) -> PlanQuality:
+        """Per-plan reference oracle; the batched pipeline must match it bitwise."""
         self.evaluations += 1
-        violations = self.constraint_violations(plan)
+        cost = self.cost.qcost(plan)
+        violations = self._violations(plan, cost)
         return PlanQuality(
             plan=plan,
             perf=self.performance.qperf(plan, self._weights),
             avail=self.availability.qavai(plan, self._weights),
-            cost=self.cost.qcost(plan),
+            cost=cost,
             feasible=not violations,
             violations=tuple(violations),
         )
@@ -128,11 +238,29 @@ class QualityEvaluator:
     # -- constraints -----------------------------------------------------------------------
     def constraint_violations(self, plan: MigrationPlan) -> List[str]:
         """Human-readable descriptions of every violated constraint of Eq. 4."""
+        cost = (
+            self.cost.qcost(plan)
+            if self.preferences.budget_usd != float("inf")
+            else None
+        )
+        return self._violations(plan, cost)
+
+    def _violations(self, plan: MigrationPlan, cost: Optional[float]) -> List[str]:
+        """Violation strings for one plan, with the (possibly precomputed) cost.
+
+        The plan's cost is scored exactly once per evaluation: callers that already
+        hold it pass it in; ``cost`` may be ``None`` only when no budget is set.
+        """
         violations: List[str] = []
         for component in self.preferences.pin_violations(plan):
             violations.append(
                 f"component {component} must stay at location "
                 f"{self.preferences.pinned_placement[component]}"
+            )
+        for component in self.preferences.location_violations(plan):
+            violations.append(
+                f"component {component} may not run at location {plan[component]} "
+                f"(allowed locations: {list(self.preferences.allowed_locations[component])})"
             )
         onprem_components = plan.components_at(ON_PREM)
         for resource, estimator_key in _ONPREM_RESOURCES.items():
@@ -145,14 +273,148 @@ class QualityEvaluator:
                     f"on-prem {resource} peak {peak:.0f} exceeds limit {limit:.0f}"
                 )
         if self.preferences.budget_usd != float("inf"):
-            cost = self.cost.qcost(plan)
+            if cost is None:
+                cost = self.cost.qcost(plan)
             if cost > self.preferences.budget_usd:
                 violations.append(
                     f"cost {cost:.2f} USD exceeds budget {self.preferences.budget_usd:.2f} USD"
                 )
         return violations
 
+    def feasible_mask(
+        self,
+        vectors: Sequence[Sequence[int]],
+        components: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        """Per-plan feasibility of a location matrix — the batched ``is_feasible``."""
+        matrix, components = self._lower(vectors, components)
+        cost = (
+            self.cost.qcost_batch(matrix, components)
+            if self.preferences.budget_usd != float("inf")
+            else None
+        )
+        return self._constraint_arrays(matrix, components, cost).feasible
+
+    def _constraint_arrays(
+        self,
+        matrix: np.ndarray,
+        components: Sequence[str],
+        cost: Optional[np.ndarray],
+    ) -> _ConstraintArrays:
+        """All constraint masks of Eq. 4 for a plan matrix, in one pass each."""
+        n_plans = matrix.shape[0]
+        column_of = {c: i for i, c in enumerate(components)}
+        infeasible = np.zeros(n_plans, dtype=bool)
+        pin_violated: List[Tuple[str, int, np.ndarray]] = []
+        for component, location in self.preferences.pinned_placement.items():
+            mask = matrix[:, column_of[component]] != location
+            pin_violated.append((component, location, mask))
+            infeasible |= mask
+        location_violated: List[Tuple[str, Tuple[int, ...], np.ndarray, np.ndarray]] = []
+        if self.preferences.allowed_locations:
+            size = int(matrix.max()) + 1 if matrix.size else 1
+            for component, allowed in self.preferences.allowed_locations.items():
+                column = column_of.get(component)
+                if column is None:
+                    continue
+                permitted = np.zeros(size, dtype=bool)
+                permitted[ON_PREM] = True
+                for location in allowed:
+                    if location < size:
+                        permitted[location] = True
+                placements = matrix[:, column]
+                mask = ~permitted[placements]
+                location_violated.append((component, allowed, mask, placements))
+                infeasible |= mask
+        on_prem = matrix == ON_PREM
+        peaks: Dict[str, Tuple[float, np.ndarray]] = {}
+        for resource, estimator_key in _ONPREM_RESOURCES.items():
+            limit = self.preferences.onprem_limit(resource)
+            if limit is None:
+                continue
+            peak = self.estimate.peak_matrix(estimator_key, on_prem, components)
+            peaks[resource] = (limit, peak)
+            infeasible |= peak > limit
+        over_budget: Optional[np.ndarray] = None
+        if self.preferences.budget_usd != float("inf"):
+            if cost is None:
+                cost = self.cost.qcost_batch(matrix, components)
+            over_budget = cost > self.preferences.budget_usd
+            infeasible |= over_budget
+        return _ConstraintArrays(
+            feasible=~infeasible,
+            pin_violated=pin_violated,
+            location_violated=location_violated,
+            peaks=peaks,
+            over_budget=over_budget,
+        )
+
+    def _materialize_violations(
+        self, row: int, constraints: _ConstraintArrays, cost: float
+    ) -> List[str]:
+        """Violation strings of one infeasible plan, from the batched constraint data.
+
+        Ordering and formatting match :meth:`_violations` exactly.
+        """
+        violations: List[str] = []
+        for component, location, mask in constraints.pin_violated:
+            if mask[row]:
+                violations.append(
+                    f"component {component} must stay at location {location}"
+                )
+        for component, allowed, mask, placements in constraints.location_violated:
+            if mask[row]:
+                violations.append(
+                    f"component {component} may not run at location {int(placements[row])} "
+                    f"(allowed locations: {list(allowed)})"
+                )
+        for resource, (limit, peak) in constraints.peaks.items():
+            if peak[row] > limit:
+                violations.append(
+                    f"on-prem {resource} peak {peak[row]:.0f} exceeds limit {limit:.0f}"
+                )
+        if constraints.over_budget is not None and constraints.over_budget[row]:
+            violations.append(
+                f"cost {cost:.2f} USD exceeds budget "
+                f"{self.preferences.budget_usd:.2f} USD"
+            )
+        return violations
+
+    def _lower(
+        self,
+        vectors: Sequence[Sequence[int]],
+        components: Optional[Sequence[str]],
+    ) -> Tuple[np.ndarray, List[str]]:
+        """Validate a vector batch and permute it into the canonical column order.
+
+        Shared by :meth:`evaluate_vectors` and :meth:`feasible_mask` so permuted
+        component orders hit the same caches (result cache, batched cost memo) and
+        fail with the same explicit error on a mismatched component set.
+        """
+        components = self._columns(components)
+        matrix = np.asarray(vectors, dtype=np.int64)
+        if matrix.size == 0:
+            matrix = matrix.reshape(0, len(components))
+        if matrix.ndim != 2 or matrix.shape[1] != len(components):
+            raise ValueError("vectors must form a (plans, len(components)) matrix")
+        if tuple(components) != self._canonical:
+            if set(components) != set(self._canonical):
+                raise ValueError(
+                    "vector components do not match the evaluator's component set"
+                )
+            column_of = {c: i for i, c in enumerate(components)}
+            matrix = matrix[:, [column_of[c] for c in self._canonical]]
+            components = list(self._canonical)
+        return matrix, components
+
     # -- convenience -----------------------------------------------------------------------
+    def _columns(self, components: Optional[Sequence[str]]) -> List[str]:
+        if components is not None:
+            return list(components)
+        if self._component_order is not None:
+            return list(self._component_order)
+        return self.cost.baseline_plan.components
+
     @property
     def api_weights(self) -> Dict[str, float]:
         return dict(self._weights)

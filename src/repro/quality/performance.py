@@ -211,6 +211,17 @@ class ApiPerformanceModel:
         self._delays_by_projection: Dict[Tuple[str, Tuple[int, ...]], Dict[Edge, float]] = {}
         # Signature cache: (api, cut-edge signature) -> (latencies, mean latency).
         self._by_signature: Dict[Tuple[str, DelaySignature], Tuple[List[float], float]] = {}
+        # Plan-matrix lowering: per component order, each API's touched columns.
+        self._projection_columns: Dict[Tuple[str, ...], Dict[str, np.ndarray]] = {}
+        # Per-API Δ lookup tables over (edge, caller location, callee location), built
+        # lazily and regrown when a matrix mentions a higher location id.
+        self._delta_tables: Dict[
+            str, Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+        # Matrix-pipeline result cache: per API, raw Δ-row bytes -> mean latency.
+        # (The replay is deterministic, so this holds the same numbers as the
+        # signature cache without paying for per-row signature tuples.)
+        self._row_means: Dict[str, Dict[bytes, float]] = {}
 
     # -- public API ------------------------------------------------------------------------
     @property
@@ -247,7 +258,8 @@ class ApiPerformanceModel:
             self._delays_by_projection[key] = cached
         return dict(cached)
 
-    def _compute_edge_delays(self, api: str, plan: MigrationPlan) -> Dict[Edge, float]:
+    def _compute_edge_delays(self, api: str, plan: Mapping[str, int]) -> Dict[Edge, float]:
+        """Δ per edge given any component -> location mapping covering the API."""
         delays: Dict[Edge, float] = {}
         for caller, callee in self._edges.get(api, []):
             before = (self.baseline_plan[caller], self.baseline_plan[callee])
@@ -297,6 +309,23 @@ class ApiPerformanceModel:
             cached = self._store_signature(api, signature, latencies)
         return cached
 
+    def _resolve_pending(
+        self, api: str, pending: Mapping[DelaySignature, Dict[Edge, float]]
+    ) -> None:
+        """Replay every cache-missing delay signature of one API (batched when compiled)."""
+        if not pending:
+            return
+        if self.engine != "compiled":
+            for signature, delays in pending.items():
+                self._store_signature(api, signature, self._replay_reference(api, delays))
+            return
+        compiled = self._compiled_set(api)
+        signatures = list(pending)
+        rows = np.vstack([compiled.delta_row(pending[s]) for s in signatures])
+        matrix = compiled.replay_batch(rows)
+        for signature, row in zip(signatures, matrix):
+            self._store_signature(api, signature, [float(v) for v in row])
+
     # -- batched evaluation --------------------------------------------------------------------
     def prime(self, plans: Sequence[MigrationPlan]) -> None:
         """Resolve a batch of plans in one pass: dedup → project → vectorized replay.
@@ -320,18 +349,164 @@ class ApiPerformanceModel:
                 if (api, signature) in self._by_signature or signature in pending:
                     continue
                 pending[signature] = delays
-            if not pending:
-                continue
-            if self.engine != "compiled":
-                for signature, delays in pending.items():
-                    self._store_signature(api, signature, self._replay_reference(api, delays))
-                continue
-            compiled = self._compiled_set(api)
-            signatures = list(pending)
-            rows = np.vstack([compiled.delta_row(pending[s]) for s in signatures])
-            matrix = compiled.replay_batch(rows)
-            for signature, row in zip(signatures, matrix):
-                self._store_signature(api, signature, [float(v) for v in row])
+            self._resolve_pending(api, pending)
+
+    # -- plan-matrix pipeline ---------------------------------------------------------------
+    def _columns_for(self, components: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Per-API touched-component column indices for one matrix component order."""
+        key = tuple(components)
+        cached = self._projection_columns.get(key)
+        if cached is None:
+            column_of = {c: i for i, c in enumerate(key)}
+            cached = {
+                api: np.asarray([column_of[c] for c in touched], dtype=np.intp)
+                for api, touched in self._touched.items()
+            }
+            self._projection_columns[key] = cached
+        return cached
+
+    def _delta_table(
+        self, api: str, n_locations: int
+    ) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Δ of every (edge, caller location, callee location) triple of one API.
+
+        Returns ``(size, table, missing, src_pos, dst_pos)``: ``table[e, a, b]`` is
+        the scalar :meth:`_compute_edge_delays` value for edge ``e`` relocated to
+        ``(a, b)`` (zero where the pair does not move or the Δ is non-positive),
+        ``missing`` flags pairs the network has no link for, and ``src_pos``/
+        ``dst_pos`` map each edge endpoint into the API's touched-component axis.
+        Built once per API and regrown when a higher location id appears.
+        """
+        cached = self._delta_tables.get(api)
+        if cached is None or cached[0] < n_locations:
+            edges = self._edges[api]
+            table = np.zeros((len(edges), n_locations, n_locations), dtype=np.float64)
+            missing = np.zeros(table.shape, dtype=bool)
+            for index, (caller, callee) in enumerate(edges):
+                before = (self.baseline_plan[caller], self.baseline_plan[callee])
+                request = self.footprint.request_bytes(api, caller, callee)
+                response = self.footprint.response_bytes(api, caller, callee)
+                for caller_loc in range(n_locations):
+                    for callee_loc in range(n_locations):
+                        after = (caller_loc, callee_loc)
+                        if after == before:
+                            continue
+                        try:
+                            table[index, caller_loc, callee_loc] = (
+                                self.network.extra_delay_ms(
+                                    before, after, request, response
+                                )
+                            )
+                        except KeyError:
+                            missing[index, caller_loc, callee_loc] = True
+            position = {c: i for i, c in enumerate(self._touched[api])}
+            src_pos = np.asarray([position[c] for c, _ in edges], dtype=np.intp)
+            dst_pos = np.asarray([position[c] for _, c in edges], dtype=np.intp)
+            cached = (n_locations, table, missing, src_pos, dst_pos)
+            self._delta_tables[api] = cached
+        return cached
+
+    def _means_for(
+        self, api: str, matrix: np.ndarray, columns: np.ndarray
+    ) -> np.ndarray:
+        """Per-plan mean injected latency of one API over a plan matrix.
+
+        Projects the matrix onto the API's touched columns, gathers each distinct
+        projection's per-edge Δ row from the API's delta table (all cache-missing
+        signatures replay in one vectorized batch) and broadcasts the cached means
+        back to the plan axis.
+        """
+        edges = self._edges[api]
+        if edges and columns.size:
+            sub = matrix[:, columns]
+            _size, table, missing, src_pos, dst_pos = self._delta_table(
+                api, int(matrix.max()) + 1
+            )
+            edge_axis = np.arange(len(edges))
+            src_locs = sub[:, src_pos]
+            dst_locs = sub[:, dst_pos]
+            deltas = table[edge_axis[None, :], src_locs, dst_locs]
+            if missing.any() and missing[edge_axis[None, :], src_locs, dst_locs].any():
+                # Mimic the scalar error for a plan using a linkless pair.
+                bad = int(
+                    np.nonzero(
+                        missing[edge_axis[None, :], src_locs, dst_locs].any(axis=1)
+                    )[0][0]
+                )
+                self._compute_edge_delays(
+                    api, dict(zip(self._touched[api], (int(v) for v in sub[bad])))
+                )
+            rows = np.where(deltas > 0.0, deltas, 0.0)
+        else:
+            rows = np.zeros((matrix.shape[0], 0), dtype=np.float64)
+        # Dedup at the Δ-row level (the cut-edge signature), keyed by the raw row
+        # bytes: the thousands of plans of a generation collapse to the distinct rows
+        # that actually replay, and repeat generations hit the mean cache outright.
+        # (Rows are built with a +0.0 fill and no NaNs, so byte equality is value
+        # equality.)
+        cache = self._row_means.setdefault(api, {})
+        n_plans = rows.shape[0]
+        row_size = rows.shape[1] * rows.itemsize
+        buffer = rows.tobytes()
+        keys = [buffer[p * row_size : (p + 1) * row_size] for p in range(n_plans)]
+        means = np.empty(n_plans, dtype=np.float64)
+        unknown: Dict[bytes, int] = {}
+        for plan_index, key in enumerate(keys):
+            cached = cache.get(key)
+            if cached is None and key not in unknown:
+                unknown[key] = plan_index
+        if unknown:
+            distinct = list(unknown.values())
+            if self.engine == "compiled":
+                replayed = self._compiled_set(api).replay_batch(rows[distinct])
+            else:
+                replayed = [
+                    self._replay_reference(
+                        api,
+                        {
+                            edges[i]: float(rows[index, i])
+                            for i in np.nonzero(rows[index])[0]
+                        },
+                    )
+                    for index in distinct
+                ]
+            for key, latencies in zip(unknown, replayed):
+                # fmean is fsum-based, so feeding it np.float64 values directly is
+                # bit-identical to _store_signature's float-converted arithmetic —
+                # mixed scalar/batched use of one evaluator yields the same means.
+                cache[key] = float(statistics.fmean(latencies))
+        for plan_index, key in enumerate(keys):
+            means[plan_index] = cache[key]
+        return means
+
+    def qperf_batch(
+        self,
+        plan_matrix: np.ndarray,
+        components: Sequence[str],
+        api_weights: Optional[Mapping[str, float]] = None,
+    ) -> np.ndarray:
+        """QPerf for a whole plan matrix at once — bitwise equal to per-plan ``qperf``.
+
+        ``plan_matrix`` is ``(plans, len(components))`` integer location ids; per-plan
+        totals accumulate API by API in the scalar iteration order, so every entry
+        matches ``qperf`` of the corresponding plan bit for bit.
+        """
+        matrix = np.asarray(plan_matrix, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(components):
+            raise ValueError("plan matrix must be (plans, len(components))")
+        totals = np.zeros(matrix.shape[0], dtype=np.float64)
+        if matrix.shape[0] == 0:
+            return totals
+        columns = self._columns_for(components)
+        for api in self._apis:
+            baseline = self._baseline_mean[api]
+            if baseline > 0:
+                impact = self._means_for(api, matrix, columns[api]) / baseline
+            else:
+                impact = np.ones(matrix.shape[0], dtype=np.float64)
+            weight = api_weights.get(api, 1.0) if api_weights else 1.0
+            totals += weight * impact
+        return totals / len(self._apis)
 
     # -- estimates ------------------------------------------------------------------------
     def estimate_latencies(self, api: str, plan: MigrationPlan) -> List[float]:

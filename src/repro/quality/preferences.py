@@ -1,14 +1,16 @@
 """Migration preferences supplied by the application owner (Section 3 and Eq. 4).
 
 Preferences personalize recommendations: which APIs are business-critical (weighted 2x
-by default), which components are pinned to a location (regulatory compliance), the
-maximum resource usage allowed to remain on-prem, and the cloud budget.
+by default), which components are pinned to a location (regulatory compliance), which
+remote locations a component may be placed at (``allowed_locations`` — e.g. "user data
+may go to region 2 but not 3"), the maximum resource usage allowed to remain on-prem,
+and the cloud budget.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Collection, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cluster.placement import MigrationPlan
 from ..cluster.topology import ON_PREM
@@ -28,6 +30,10 @@ class MigrationPreferences:
     pinned_placement: Dict[str, int] = field(default_factory=dict)
     onprem_limits: Dict[str, float] = field(default_factory=dict)
     budget_usd: float = float("inf")
+    #: Per-component location whitelists: a listed component may only be placed at
+    #: these locations.  The on-prem site (0) is always implicitly allowed (the
+    #: component runs there today); unlisted components may go anywhere.
+    allowed_locations: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.critical_weight <= 0:
@@ -37,6 +43,22 @@ class MigrationPreferences:
         for resource, limit in self.onprem_limits.items():
             if limit < 0:
                 raise ValueError(f"on-prem limit for {resource!r} must be non-negative")
+        normalized: Dict[str, Tuple[int, ...]] = {}
+        for component, locations in self.allowed_locations.items():
+            ids = {int(loc) for loc in locations}
+            if any(loc < 0 for loc in ids):
+                raise ValueError(
+                    f"allowed locations for {component!r} must be non-negative ids"
+                )
+            normalized[component] = tuple(sorted(ids | {ON_PREM}))
+        self.allowed_locations = normalized
+        for component, location in self.pinned_placement.items():
+            if not self.allowed_at(component, location):
+                raise ValueError(
+                    f"component {component!r} is pinned to location {location}, which "
+                    f"its allowed-locations whitelist {self.allowed_locations[component]} "
+                    "excludes"
+                )
 
     # -- API weighting ------------------------------------------------------------------
     def api_weight(self, api: str) -> float:
@@ -57,6 +79,35 @@ class MigrationPreferences:
     def onprem_limit(self, resource: str) -> Optional[float]:
         return self.onprem_limits.get(resource)
 
+    # -- allowed-locations whitelist ------------------------------------------------------
+    def allowed_at(self, component: str, location: int) -> bool:
+        """Whether the whitelist permits placing the component at the location.
+
+        On-prem is always permitted; components without a whitelist may go anywhere.
+        """
+        if location == ON_PREM:
+            return True
+        allowed = self.allowed_locations.get(component)
+        return allowed is None or location in allowed
+
+    def allowed_remote_sites(
+        self, component: str, locations: Collection[int]
+    ) -> Tuple[int, ...]:
+        """The remote sites (in the given order) the component may be placed at."""
+        return tuple(
+            loc
+            for loc in locations
+            if loc != ON_PREM and self.allowed_at(component, loc)
+        )
+
+    def location_violations(self, plan: MigrationPlan) -> List[str]:
+        """Whitelisted components placed somewhere their whitelist excludes."""
+        return [
+            component
+            for component in self.allowed_locations
+            if component in plan and not self.allowed_at(component, plan[component])
+        ]
+
     def with_critical_apis(self, apis: Sequence[str]) -> "MigrationPreferences":
         """A copy with a different critical-API set (used by the Figure 16 experiment)."""
         return MigrationPreferences(
@@ -65,6 +116,7 @@ class MigrationPreferences:
             pinned_placement=dict(self.pinned_placement),
             onprem_limits=dict(self.onprem_limits),
             budget_usd=self.budget_usd,
+            allowed_locations=dict(self.allowed_locations),
         )
 
     def with_budget(self, budget_usd: float) -> "MigrationPreferences":
@@ -74,6 +126,20 @@ class MigrationPreferences:
             pinned_placement=dict(self.pinned_placement),
             onprem_limits=dict(self.onprem_limits),
             budget_usd=budget_usd,
+            allowed_locations=dict(self.allowed_locations),
+        )
+
+    def with_allowed_locations(
+        self, allowed: Mapping[str, Sequence[int]]
+    ) -> "MigrationPreferences":
+        """A copy with per-component location whitelists."""
+        return MigrationPreferences(
+            critical_apis=list(self.critical_apis),
+            critical_weight=self.critical_weight,
+            pinned_placement=dict(self.pinned_placement),
+            onprem_limits=dict(self.onprem_limits),
+            budget_usd=self.budget_usd,
+            allowed_locations={c: tuple(locs) for c, locs in allowed.items()},
         )
 
     @classmethod

@@ -278,14 +278,21 @@ class Atlas:
             api: sum(series) for api, series in evaluator.estimate.api_rates.items()
         }
         pair_traffic = knowledge.footprint.expected_pair_traffic(total_requests)
+        components = self.application.component_names
         return affinity_seed_vectors(
-            components=self.application.component_names,
+            components=components,
             pinned=evaluator.preferences.pinned_placement,
             pair_traffic=pair_traffic,
-            is_feasible=evaluator.is_feasible,
+            # Seeding probes single vectors, many of them repeats (flip-and-revert
+            # passes): the scalar is_feasible path keeps the per-plan qcost memo
+            # warm, which the batched pipeline deliberately bypasses.
+            is_feasible=lambda vector: evaluator.is_feasible(
+                MigrationPlan.from_vector(components, list(vector))
+            ),
             rng=np.random.default_rng(config.seed + 101),
             count=4,
             locations=self.locations,
+            allowed_locations=evaluator.preferences.allowed_locations,
         )
 
     # -- baselines support ------------------------------------------------------------------------
@@ -308,6 +315,7 @@ class Atlas:
             message_matrix=message_matrix,
             busyness=busyness,
             locations=tuple(self.locations),
+            network=self.network,
         )
 
     # -- stage 3: monitoring ------------------------------------------------------------------------

@@ -216,8 +216,8 @@ class TestAtlasGAHelpers:
         components = ["A", "B", "C", "D"]
         traffic = {("A", "B"): 1000.0, ("B", "C"): 10.0, ("C", "D"): 500.0}
 
-        def feasible(plan):
-            return plan.offload_count() >= 2
+        def feasible(vector):
+            return sum(1 for location in vector if location != ON_PREM) >= 2
 
         seeds = affinity_seed_vectors(
             components, pinned={"A": ON_PREM}, pair_traffic=traffic,
@@ -232,8 +232,8 @@ class TestAtlasGAHelpers:
         components = ["A", "B", "C"]
         traffic = {("A", "B"): 10_000.0, ("B", "C"): 1.0}
 
-        def feasible(plan):
-            return plan.offload_count() >= 1
+        def feasible(vector):
+            return sum(1 for location in vector if location != ON_PREM) >= 1
 
         seeds = affinity_seed_vectors(
             components, pinned={}, pair_traffic=traffic,
