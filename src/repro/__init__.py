@@ -35,7 +35,14 @@ Quick start::
 
 from .apps import build_hotel_reservation, build_social_network
 from .cluster import MigrationPlan, default_hybrid_cluster, default_network_model
-from .quality import MigrationPreferences
+from .quality import (
+    CVaR,
+    MigrationPreferences,
+    ScenarioSet,
+    ScenarioSpec,
+    WeightedMean,
+    WorstCase,
+)
 from .recommend import Atlas, AtlasConfig, Recommendation
 
 __version__ = "1.0.0"
@@ -47,6 +54,11 @@ __all__ = [
     "Recommendation",
     "MigrationPlan",
     "MigrationPreferences",
+    "ScenarioSpec",
+    "ScenarioSet",
+    "WorstCase",
+    "WeightedMean",
+    "CVaR",
     "build_social_network",
     "build_hotel_reservation",
     "default_hybrid_cluster",

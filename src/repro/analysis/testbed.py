@@ -49,6 +49,7 @@ from ..optimizer.baselines import BaselineContext
 from ..quality.cost import PricingCatalog
 from ..quality.evaluator import QualityEvaluator
 from ..quality.preferences import MigrationPreferences
+from ..quality.scenarios import ScenarioSet
 from ..recommend.advisor import Atlas, AtlasConfig
 from ..simulator.run import SimulationResult, simulate_workload
 from ..telemetry.server import TelemetryServer
@@ -138,6 +139,22 @@ class Testbed:
 
     def baseline_context(self, evaluator: QualityEvaluator) -> BaselineContext:
         return self.atlas.baseline_context(evaluator)
+
+    def scenario_set(
+        self,
+        scales: Optional[Sequence[float]] = None,
+        include_baseline: bool = True,
+    ) -> ScenarioSet:
+        """The testbed's workload family as a scenario axis.
+
+        Defaults to the paper's evaluation setting expressed as scenarios: the
+        observed workload plus one burst scenario at ``expected_scale``.  Use it with
+        an evaluator built at scale 1 (``testbed.evaluator(scale=1.0)``) or
+        ``atlas.recommend(expected_scale=1.0, scenarios=...)`` so the burst rides the
+        scenario axis instead of being baked into the period of interest.
+        """
+        scales = tuple(scales) if scales is not None else (self.expected_scale,)
+        return ScenarioSet.with_bursts(scales, include_baseline=include_baseline)
 
     # -- workloads ------------------------------------------------------------------------------
     def scaled_requests(self, scale: Optional[float] = None) -> List[ApiRequest]:

@@ -13,11 +13,18 @@ recommendation round is triggered.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["kl_divergence", "DriftReport", "DriftDetector"]
+from ..workload.profiles import BehaviorChange, WorkloadScenario
+
+__all__ = [
+    "kl_divergence",
+    "DriftReport",
+    "DriftScenarioUpdate",
+    "DriftDetector",
+]
 
 
 def kl_divergence(
@@ -75,6 +82,32 @@ class DriftReport:
         return self.information_loss_factor > self.threshold_factor
 
 
+@dataclass(frozen=True)
+class DriftScenarioUpdate:
+    """Outcome of one drift check that also compiles a refreshed workload scenario.
+
+    ``reports`` is exactly what :meth:`DriftDetector.check_all` returns; ``scenario``
+    is a refreshed :class:`~repro.workload.profiles.WorkloadScenario` describing the
+    drifted behaviour (``None`` when nothing drifted) — the bridge from monitoring
+    into the scenario axis: feed it to
+    :meth:`~repro.quality.scenarios.ScenarioSpec.from_workload` /
+    ``Atlas.recommend(scenarios=...)`` for a scenario-robust re-recommendation, after
+    invalidating the stale evaluator caches via
+    :meth:`~repro.quality.evaluator.QualityEvaluator.invalidate_for_scenario`.
+    """
+
+    reports: Dict[str, DriftReport]
+    scenario: Optional[WorkloadScenario]
+
+    @property
+    def drifted_apis(self) -> List[str]:
+        return [api for api, report in self.reports.items() if report.drift_detected]
+
+    @property
+    def drift_detected(self) -> bool:
+        return bool(self.drifted_apis)
+
+
 class DriftDetector:
     """Per-API drift detection against the last recommendation round."""
 
@@ -120,13 +153,75 @@ class DriftDetector:
         )
 
     def check_all(
+        self,
+        recent_latencies: Mapping[str, Sequence[float]],
+        scenario: Optional[WorkloadScenario] = None,
+    ) -> Union[Dict[str, DriftReport], DriftScenarioUpdate]:
+        """Drift reports for every monitored API's recent samples.
+
+        With ``scenario`` (the workload description the last recommendation was made
+        under), the check additionally emits a refreshed
+        :class:`~repro.workload.profiles.WorkloadScenario` when drift is detected and
+        returns a :class:`DriftScenarioUpdate` — the first step of the
+        drift-triggered re-recommendation loop.  Without it, the historical
+        ``{api: DriftReport}`` mapping is returned unchanged.
+        """
+        reports = self._reports(recent_latencies)
+        if scenario is None:
+            return reports
+        return DriftScenarioUpdate(
+            reports=reports,
+            scenario=self.refreshed_scenario(scenario, recent_latencies, reports),
+        )
+
+    def _reports(
         self, recent_latencies: Mapping[str, Sequence[float]]
     ) -> Dict[str, DriftReport]:
+        """One drift report per monitored API with recent samples."""
         return {
             api: self.check(api, samples)
             for api, samples in recent_latencies.items()
             if api in self._real and len(samples) > 0
         }
+
+    def refreshed_scenario(
+        self,
+        base: WorkloadScenario,
+        recent_latencies: Mapping[str, Sequence[float]],
+        reports: Optional[Mapping[str, DriftReport]] = None,
+    ) -> Optional[WorkloadScenario]:
+        """A refreshed workload scenario capturing the drifted APIs' new behaviour.
+
+        Each drifted API contributes a :class:`~repro.workload.profiles.BehaviorChange`
+        whose payload scale is the observed mean-latency inflation over the
+        post-migration ground truth — the internal-drift proxy the footprints support
+        before the next learning round replaces them.  Returns ``None`` when no API
+        drifted (the current scenario still describes the workload).
+        """
+        if reports is None:
+            reports = self._reports(recent_latencies)
+        changes: List[BehaviorChange] = []
+        for api, report in sorted(reports.items()):
+            if not report.drift_detected:
+                continue
+            reference = float(np.mean(self._real[api]))
+            recent = float(np.mean(recent_latencies[api]))
+            scale = recent / reference if reference > 0 else 1.0
+            changes.append(
+                BehaviorChange(
+                    start_ms=0.0,
+                    apis=[api],
+                    payload_scale=max(scale, 0.1),
+                )
+            )
+        if not changes:
+            return None
+        return WorkloadScenario(
+            mix=base.mix,
+            profile=base.profile,
+            changes=list(base.changes) + changes,
+            name=f"{base.name}-drift",
+        )
 
     def drifted_apis(self, recent_latencies: Mapping[str, Sequence[float]]) -> List[str]:
         return [

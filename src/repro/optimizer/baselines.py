@@ -429,13 +429,16 @@ class AffinityNSGA2Baseline:
 
         Affinity, cost and feasibility each come from the batched pipeline; values
         (including the infeasibility penalty) are bitwise identical to the historical
-        per-plan scoring, and the evaluation counter advances once per vector.
+        per-plan scoring, and the evaluation counter advances once per vector.  Cost
+        and feasibility go through the evaluator's scenario-aware doors
+        (``qcost_vectors`` / ``feasible_mask``), so binding a scenario set on the
+        shared evaluator makes this baseline scenario-robust too.
         """
         self._evaluations += len(vectors)
         matrix = np.asarray(vectors, dtype=np.int64)
         components = self.context.components
         traffic = self.context.cross_dc_affinity_batch(matrix)
-        cost = self.context.evaluator.cost.qcost_batch(matrix, components)
+        cost = self.context.evaluator.qcost_vectors(matrix, components)
         feasible = self.context.evaluator.feasible_mask(matrix, components)
         objectives: List[Tuple[float, float]] = []
         for plan_traffic, plan_cost, ok in zip(

@@ -1,4 +1,11 @@
-"""Migration quality modeling: performance (delay injection), availability, cost."""
+"""Migration quality modeling: performance (delay injection), availability, cost.
+
+The scenario axis (:mod:`repro.quality.scenarios`) threads workload scenarios —
+bursts, mix shifts, payload growth — through the whole stack: ``ScenarioSet`` names
+the S axis, ``RobustAggregator`` collapses the S×P objective tensor, and
+``QualityEvaluator.evaluate_vectors(..., scenarios=...)`` (or ``bind_scenarios``)
+scores plans robustly against the whole family.
+"""
 
 from .availability import ApiAvailabilityModel, AvailabilityEstimate
 from .compiled import CompiledTraceSet, compile_traces
@@ -6,6 +13,16 @@ from .cost import CloudCostModel, CostEstimate, PricingCatalog
 from .evaluator import PlanQuality, QualityEvaluator
 from .performance import ApiPerformanceModel, DelayInjector, PerformanceEstimate
 from .preferences import MigrationPreferences
+from .scenarios import (
+    CVaR,
+    RobustAggregator,
+    ScenarioQuality,
+    ScenarioSet,
+    ScenarioSpec,
+    WeightedMean,
+    WorstCase,
+    scaled_footprint,
+)
 
 __all__ = [
     "CompiledTraceSet",
@@ -21,4 +38,12 @@ __all__ = [
     "MigrationPreferences",
     "PlanQuality",
     "QualityEvaluator",
+    "ScenarioSpec",
+    "ScenarioSet",
+    "ScenarioQuality",
+    "RobustAggregator",
+    "WorstCase",
+    "WeightedMean",
+    "CVaR",
+    "scaled_footprint",
 ]

@@ -161,6 +161,29 @@ class CloudCostModel:
         # the cost passes twice for the same plan.
         self._batch_cost_cache: Dict[Tuple[str, ...], Dict[bytes, float]] = {}
 
+    def derive(
+        self,
+        estimate: Optional[ResourceEstimate] = None,
+        footprint: Optional[NetworkFootprint] = None,
+    ) -> "CloudCostModel":
+        """A sibling cost model over a different period of interest / footprint.
+
+        Used by the scenario axis: each compiled scenario bills its own resource
+        estimate (autoscaler node series, storage usage, request-rate buckets) and
+        payload-scaled footprint while sharing the catalogs, storage metadata and
+        baseline plan.  Caches are per-model, so scenarios never cross-contaminate.
+        """
+        return CloudCostModel(
+            catalog=self.catalog,
+            estimate=estimate if estimate is not None else self.estimate,
+            footprint=footprint if footprint is not None else self.footprint,
+            storage_by_component=self.storage_by_component,
+            baseline_plan=self.baseline_plan,
+            time_compression=self.time_compression,
+            charge_cloud_egress_only=self.charge_cloud_egress_only,
+            catalogs=self.catalogs,
+        )
+
     # -- individual terms -----------------------------------------------------------------
     @property
     def real_step_ms(self) -> float:

@@ -28,11 +28,19 @@ import numpy as np
 
 from ..cluster.placement import MigrationPlan
 from ..cluster.topology import ON_PREM
-from ..learning.estimator import ResourceEstimate
+from ..learning.estimator import ResourceEstimate, ResourceEstimator
 from .availability import ApiAvailabilityModel
 from .cost import CloudCostModel
 from .performance import ApiPerformanceModel
 from .preferences import MigrationPreferences
+from .scenarios import (
+    RobustAggregator,
+    ScenarioQuality,
+    ScenarioSet,
+    ScenarioSpec,
+    WorstCase,
+    scaled_footprint,
+)
 
 __all__ = ["PlanQuality", "QualityEvaluator"]
 
@@ -46,7 +54,14 @@ _ONPREM_RESOURCES = {
 
 @dataclass(frozen=True)
 class PlanQuality:
-    """Quality of one migration plan."""
+    """Quality of one migration plan.
+
+    Under scenario-robust evaluation the objective fields hold the *aggregated*
+    values (the :class:`~repro.quality.scenarios.RobustAggregator` output),
+    ``feasible`` means feasible under **every** scenario, and ``scenarios`` carries
+    the per-scenario breakdown; classic single-workload evaluation leaves
+    ``scenarios`` empty.
+    """
 
     plan: MigrationPlan
     perf: float
@@ -54,6 +69,7 @@ class PlanQuality:
     cost: float
     feasible: bool
     violations: Tuple[str, ...] = ()
+    scenarios: Tuple[ScenarioQuality, ...] = ()
 
     def objectives(self) -> Tuple[float, float, float]:
         """(QPerf, QAvai, QCost) — all minimized."""
@@ -78,6 +94,24 @@ class _ConstraintArrays:
     over_budget: Optional[np.ndarray]
 
 
+@dataclass
+class _ScenarioContext:
+    """One compiled scenario: the models/artifacts the quality stack bakes in.
+
+    ``performance`` is a :meth:`~repro.quality.performance.ApiPerformanceModel.scenario_view`
+    (the base model itself for payload-neutral scenarios), ``cost`` a derived
+    :class:`~repro.quality.cost.CloudCostModel` over the scenario's resource estimate
+    and payload-scaled footprint, ``estimate`` feeds the on-prem peak constraint, and
+    ``weights`` is the scenario's τ_A trace-weight vector for QPerf/QAvai.
+    """
+
+    spec: ScenarioSpec
+    performance: ApiPerformanceModel
+    cost: CloudCostModel
+    estimate: ResourceEstimate
+    weights: Dict[str, float]
+
+
 class QualityEvaluator:
     """Evaluates plans against the three objectives and the constraints of Eq. 4."""
 
@@ -89,12 +123,18 @@ class QualityEvaluator:
         preferences: MigrationPreferences,
         estimate: ResourceEstimate,
         component_order: Optional[Sequence[str]] = None,
+        estimator: Optional[ResourceEstimator] = None,
     ) -> None:
+        """``estimator`` (the fitted resource estimator the base ``estimate`` came
+        from) is only needed for scenario-robust evaluation of scenarios that change
+        request rates — it re-predicts the per-component usage series under each
+        scenario's per-API rate series."""
         self.performance = performance
         self.availability = availability
         self.cost = cost
         self.preferences = preferences
         self.estimate = estimate
+        self.estimator = estimator
         self._weights = preferences.api_weights(performance.apis)
         self._component_order = list(component_order) if component_order else None
         self._cache: Dict[Tuple[int, ...], PlanQuality] = {}
@@ -103,6 +143,17 @@ class QualityEvaluator:
         #: component order never collide.
         self._canonical: Tuple[str, ...] = tuple(self._columns(None))
         self.evaluations = 0
+        #: Scenario evaluations: one per (distinct plan, scenario) pair scored by the
+        #: robust path (``evaluations`` counts plans, matching the paper's budget).
+        self.scenario_evaluations = 0
+        # Compiled scenario contexts, keyed by the spec's canonical identity.
+        self._scenario_contexts: Dict[Tuple, _ScenarioContext] = {}
+        # Robust result caches, one per (scenario set, aggregator) identity.
+        self._robust_caches: Dict[Tuple, Dict[Tuple[int, ...], PlanQuality]] = {}
+        # Active binding: when set, every entry point (evaluate/evaluate_batch/
+        # evaluate_vectors/is_feasible/feasible_mask) defaults to robust evaluation
+        # over this scenario set — how the optimizers become scenario-robust for free.
+        self._bound: Optional[Tuple[ScenarioSet, RobustAggregator]] = None
 
     def _key(self, plan: MigrationPlan) -> Tuple[int, ...]:
         """Cache key of one plan: its locations in the canonical component order."""
@@ -110,8 +161,67 @@ class QualityEvaluator:
             return tuple(plan.to_vector())
         return tuple(plan[c] for c in self._canonical)
 
+    # -- scenario binding ------------------------------------------------------------------
+    def bind_scenarios(
+        self,
+        scenarios: "ScenarioSet | ScenarioSpec | Sequence[ScenarioSpec]",
+        aggregator: Optional[RobustAggregator] = None,
+    ) -> "QualityEvaluator":
+        """Make every entry point evaluate robustly over ``scenarios`` by default.
+
+        After binding, ``evaluate``/``evaluate_batch``/``evaluate_vectors``/
+        ``is_feasible``/``feasible_mask`` (and therefore AtlasGA, NSGA-II, random
+        search and the DRL reward loop, which only speak those) score each plan over
+        the whole scenario set and collapse the objectives with ``aggregator``
+        (default :class:`~repro.quality.scenarios.WorstCase`).  The result cache,
+        ``cache_size`` and ``evaluated_qualities`` switch to the bound robust cache.
+        """
+        self._bound = (ScenarioSet.coerce(scenarios), aggregator or WorstCase())
+        return self
+
+    def unbind_scenarios(self) -> None:
+        """Return to classic single-workload evaluation."""
+        self._bound = None
+
+    @property
+    def bound_scenarios(self) -> Optional[ScenarioSet]:
+        return self._bound[0] if self._bound is not None else None
+
+    @property
+    def bound_aggregator(self) -> Optional[RobustAggregator]:
+        return self._bound[1] if self._bound is not None else None
+
+    def _resolve_scenarios(
+        self,
+        scenarios: "Optional[ScenarioSet | ScenarioSpec | Sequence[ScenarioSpec]]",
+        aggregator: Optional[RobustAggregator],
+    ) -> Tuple[Optional[ScenarioSet], Optional[RobustAggregator]]:
+        """Explicit arguments win; otherwise the bound set; otherwise the legacy path.
+
+        An explicit scenario set gets the documented :class:`WorstCase` default —
+        never the bound aggregator, which belongs to the bound set only."""
+        if scenarios is not None:
+            return ScenarioSet.coerce(scenarios), aggregator or WorstCase()
+        if self._bound is not None:
+            return self._bound[0], aggregator or self._bound[1]
+        return None, None
+
+    def _robust_cache(
+        self, scenario_set: ScenarioSet, aggregator: RobustAggregator
+    ) -> Dict[Tuple[int, ...], PlanQuality]:
+        return self._robust_caches.setdefault(
+            (scenario_set.key(), aggregator.key()), {}
+        )
+
+    def _active_cache(self) -> Dict[Tuple[int, ...], PlanQuality]:
+        if self._bound is not None:
+            return self._robust_cache(*self._bound)
+        return self._cache
+
     # -- evaluation ------------------------------------------------------------------------
     def evaluate(self, plan: MigrationPlan) -> PlanQuality:
+        if self._bound is not None:
+            return self.evaluate_batch([plan])[0]
         key = self._key(plan)
         cached = self._cache.get(key)
         if cached is not None:
@@ -120,16 +230,44 @@ class QualityEvaluator:
         self._cache[key] = quality
         return quality
 
-    def evaluate_batch(self, plans: Sequence[MigrationPlan]) -> List[PlanQuality]:
+    def evaluate_batch(
+        self,
+        plans: Sequence[MigrationPlan],
+        scenarios: "Optional[ScenarioSet | ScenarioSpec | Sequence[ScenarioSpec]]" = None,
+        aggregator: Optional[RobustAggregator] = None,
+    ) -> List[PlanQuality]:
         """Evaluate a whole generation in one call by lowering it onto a plan matrix.
 
         Distinct uncached plans are collected into one ``(plans, components)`` matrix
         and scored by :meth:`evaluate_vectors`'s batched pipeline; duplicates and
         cache hits cost nothing.  Results and the ``evaluations`` counter are
-        identical to calling :meth:`evaluate` plan by plan.
+        identical to calling :meth:`evaluate` plan by plan.  With ``scenarios`` (or a
+        bound scenario set), plans are scored robustly over the scenario axis.
         """
+        scenario_set, aggregator = self._resolve_scenarios(scenarios, aggregator)
+        if scenario_set is not None:
+            keys = [self._key(plan) for plan in plans]
+            cache = self._robust_cache(scenario_set, aggregator)
+            missing: Dict[Tuple[int, ...], MigrationPlan] = {}
+            for key, plan in zip(keys, plans):
+                if key not in cache and key not in missing:
+                    missing[key] = plan
+            if missing:
+                # Keys are already canonical-order vectors, so mixed component orders
+                # lower onto one matrix for free.
+                matrix = np.asarray(list(missing), dtype=np.int64)
+                qualities = self._score_matrix_scenarios(
+                    matrix,
+                    list(self._canonical),
+                    list(missing.values()),
+                    scenario_set,
+                    aggregator,
+                )
+                for key, quality in zip(missing, qualities):
+                    cache[key] = quality
+            return [cache[key] for key in keys]
         keys = [self._key(plan) for plan in plans]
-        missing: Dict[Tuple[int, ...], MigrationPlan] = {}
+        missing = {}
         for key, plan in zip(keys, plans):
             if key not in self._cache and key not in missing:
                 missing[key] = plan
@@ -155,6 +293,8 @@ class QualityEvaluator:
         self,
         vectors: Sequence[Sequence[int]],
         components: Optional[Sequence[str]] = None,
+        scenarios: "Optional[ScenarioSet | ScenarioSpec | Sequence[ScenarioSpec]]" = None,
+        aggregator: Optional[RobustAggregator] = None,
     ) -> List[PlanQuality]:
         """Evaluate location vectors directly — the optimizers' native entry point.
 
@@ -162,21 +302,40 @@ class QualityEvaluator:
         matrix; ``components`` names the columns (defaults to the evaluator's
         component order).  :class:`MigrationPlan` objects are constructed only for
         distinct uncached rows, at the :class:`PlanQuality` API boundary.
+
+        ``scenarios`` switches on robust evaluation: every distinct plan is scored
+        once per scenario (an S×P objective tensor built with shared dedup, shared
+        compiled replays and per-scenario compiled artifacts) and the tensor is
+        collapsed by ``aggregator`` into the scalar objectives; the per-scenario
+        breakdown rides along on :attr:`PlanQuality.scenarios`.  With ``scenarios=None``
+        and no bound set, this is byte-identical to the classic single-workload path.
         """
+        scenario_set, aggregator = self._resolve_scenarios(scenarios, aggregator)
         matrix, components = self._lower(vectors, components)
         keys = [tuple(row) for row in matrix.tolist()]
+        cache = (
+            self._robust_cache(scenario_set, aggregator)
+            if scenario_set is not None
+            else self._cache
+        )
         missing: Dict[Tuple[int, ...], int] = {}
         for index, key in enumerate(keys):
-            if key not in self._cache and key not in missing:
+            if key not in cache and key not in missing:
                 missing[key] = index
         if missing:
             rows = matrix[list(missing.values())]
             plans = [
                 MigrationPlan.from_vector(components, list(key)) for key in missing
             ]
-            for key, quality in zip(missing, self._score_matrix(rows, components, plans)):
-                self._cache[key] = quality
-        return [self._cache[key] for key in keys]
+            if scenario_set is not None:
+                qualities = self._score_matrix_scenarios(
+                    rows, components, plans, scenario_set, aggregator
+                )
+            else:
+                qualities = self._score_matrix(rows, components, plans)
+            for key, quality in zip(missing, qualities):
+                cache[key] = quality
+        return [cache[key] for key in keys]
 
     def evaluate_many(self, plans: Sequence[MigrationPlan]) -> List[PlanQuality]:
         return self.evaluate_batch(plans)
@@ -218,6 +377,245 @@ class QualityEvaluator:
             )
         return qualities
 
+    # -- scenario compilation / robust scoring ----------------------------------------------
+    def _scenario_context(self, spec: ScenarioSpec) -> _ScenarioContext:
+        """Compile one scenario into the artifacts the models bake in, cached by spec.
+
+        The baseline spec *is* the base stack (same model objects), so evaluating the
+        default scenario robustly shares every cache with — and scores bitwise equal
+        to — the classic path.  Non-baseline specs derive: a scenario resource
+        estimate (re-predicted per-API rate series), a payload-scaled footprint, a
+        performance scenario view (shared compiled traces + replay caches) and a
+        scenario τ_A weight vector.
+        """
+        key = spec.compile_key()
+        context = self._scenario_contexts.get(key)
+        if context is None:
+            if spec.is_baseline:
+                context = _ScenarioContext(
+                    spec=spec,
+                    performance=self.performance,
+                    cost=self.cost,
+                    estimate=self.estimate,
+                    weights=self._weights,
+                )
+            else:
+                estimate = self._scenario_estimate(spec)
+                performance = self.performance.scenario_view(
+                    scaled_footprint(self.performance.footprint, spec),
+                    changed_apis=spec.changed_payload_apis(),
+                )
+                cost = self.cost.derive(
+                    estimate=estimate,
+                    footprint=scaled_footprint(self.cost.footprint, spec),
+                )
+                weights = {
+                    api: weight * spec.mix_factor(api)
+                    for api, weight in self._weights.items()
+                }
+                context = _ScenarioContext(
+                    spec=spec,
+                    performance=performance,
+                    cost=cost,
+                    estimate=estimate,
+                    weights=weights,
+                )
+            self._scenario_contexts[key] = context
+        return context
+
+    def _scenario_estimate(self, spec: ScenarioSpec) -> ResourceEstimate:
+        """The scenario's expected resource-usage series (per-API rate compilation)."""
+        if not spec.changes_rates:
+            return self.estimate
+        if self.estimator is None:
+            raise ValueError(
+                f"scenario {spec.name!r} changes request rates; construct the "
+                "evaluator with estimator=... (the fitted ResourceEstimator) to "
+                "compile scenario resource estimates"
+            )
+        if not self.estimate.api_rates:
+            raise ValueError(
+                "the base resource estimate has no per-API rate series to scale"
+            )
+        rates = {
+            api: [value * spec.rate_factor(api) for value in series]
+            for api, series in self.estimate.api_rates.items()
+        }
+        return self.estimator.predict(rates, step_ms=self.estimate.step_ms)
+
+    def _score_matrix_scenarios(
+        self,
+        matrix: np.ndarray,
+        components: Sequence[str],
+        plans: Sequence[MigrationPlan],
+        scenario_set: ScenarioSet,
+        aggregator: RobustAggregator,
+    ) -> List[PlanQuality]:
+        """Score distinct plans over the whole scenario axis in S batched passes.
+
+        Builds the S×P objective tensor (one set of vectorized passes per compiled
+        scenario, all sharing the plan-level dedup and the performance model's
+        compiled trace sets / replay caches), collapses it with ``aggregator`` and
+        attaches the per-scenario breakdown.  A plan is feasible iff it is feasible
+        under every scenario; each infeasible scenario's violation strings are
+        materialized lazily and prefixed with the scenario name when S > 1.
+        """
+        contexts = [self._scenario_context(spec) for spec in scenario_set]
+        n_scenarios, n_plans = len(contexts), matrix.shape[0]
+        perf = np.empty((n_scenarios, n_plans), dtype=np.float64)
+        avail = np.empty((n_scenarios, n_plans), dtype=np.float64)
+        cost = np.empty((n_scenarios, n_plans), dtype=np.float64)
+        constraints: List[_ConstraintArrays] = []
+        # Impact factors depend on the performance view (footprint), not the trace
+        # weights: payload-neutral scenarios share one impact matrix outright, so the
+        # Δ-row gather/replay happens once per distinct view instead of once per
+        # scenario.
+        impact_cache: Dict[int, np.ndarray] = {}
+        # Seed the base model's impacts whenever (a) a payload-scaled view could
+        # copy unchanged rows from them and (b) some scenario uses the base view
+        # anyway — independent of the scenario order in the set.
+        views = {id(context.performance): context.performance for context in contexts}
+        if id(self.performance) in views and any(
+            view is not self.performance and view._changed_apis is not None
+            for view in views.values()
+        ):
+            impact_cache[id(self.performance)] = self.performance.impact_matrix(
+                matrix, components
+            )
+        for index, context in enumerate(contexts):
+            view_key = id(context.performance)
+            impacts = impact_cache.get(view_key)
+            if impacts is None:
+                impacts = context.performance.impact_matrix(
+                    matrix,
+                    components,
+                    base_impacts=impact_cache.get(id(self.performance)),
+                )
+                impact_cache[view_key] = impacts
+            perf[index] = context.performance.qperf_from_impacts(
+                impacts, context.weights
+            )
+            avail[index] = self.availability.qavai_batch(
+                matrix, components, context.weights
+            )
+            cost[index] = context.cost.qcost_batch(matrix, components)
+            constraints.append(
+                self._constraint_arrays(
+                    matrix, components, cost[index], estimate=context.estimate
+                )
+            )
+        weights = scenario_set.weight_array()
+        agg_perf = aggregator.combine(perf, weights)
+        agg_avail = aggregator.combine(avail, weights)
+        agg_cost = aggregator.combine(cost, weights)
+        feasible_all = constraints[0].feasible.copy()
+        for arrays in constraints[1:]:
+            feasible_all &= arrays.feasible
+        qualities: List[PlanQuality] = []
+        for row, plan in enumerate(plans):
+            self.evaluations += 1
+            self.scenario_evaluations += n_scenarios
+            per_scenario: List[ScenarioQuality] = []
+            violations: List[str] = []
+            for index, context in enumerate(contexts):
+                ok = bool(constraints[index].feasible[row])
+                scenario_violations: Tuple[str, ...] = ()
+                if not ok:
+                    scenario_violations = tuple(
+                        self._materialize_violations(
+                            row, constraints[index], float(cost[index, row])
+                        )
+                    )
+                    if n_scenarios == 1:
+                        violations.extend(scenario_violations)
+                    else:
+                        violations.extend(
+                            f"[{context.spec.name}] {violation}"
+                            for violation in scenario_violations
+                        )
+                per_scenario.append(
+                    ScenarioQuality(
+                        scenario=context.spec.name,
+                        perf=float(perf[index, row]),
+                        avail=float(avail[index, row]),
+                        cost=float(cost[index, row]),
+                        feasible=ok,
+                        violations=scenario_violations,
+                    )
+                )
+            qualities.append(
+                PlanQuality(
+                    plan=plan,
+                    perf=float(agg_perf[row]),
+                    avail=float(agg_avail[row]),
+                    cost=float(agg_cost[row]),
+                    feasible=bool(feasible_all[row]),
+                    violations=tuple(violations),
+                    scenarios=tuple(per_scenario),
+                )
+            )
+        return qualities
+
+    def qcost_vectors(
+        self,
+        vectors: Sequence[Sequence[int]],
+        components: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        """Per-plan cost of a location matrix, scenario-aggregated when bound.
+
+        Unbound this is exactly ``cost.qcost_batch`` after canonical lowering (the
+        affinity-NSGA-II baseline's cost objective); bound, each plan's per-scenario
+        costs collapse through the bound aggregator — the single-plan baselines
+        become scenario-robust through the same door as the evaluators.
+        """
+        matrix, components = self._lower(vectors, components)
+        if self._bound is None:
+            return self.cost.qcost_batch(matrix, components)
+        scenario_set, aggregator = self._bound
+        costs = np.stack(
+            [
+                self._scenario_context(spec).cost.qcost_batch(matrix, components)
+                for spec in scenario_set
+            ]
+        )
+        return aggregator.combine(costs, scenario_set.weight_array())
+
+    def invalidate_for_scenario(
+        self,
+        scenario: "Optional[ScenarioSpec | str]" = None,
+        apis: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Drop compiled scenario state so the next evaluation recompiles it.
+
+        ``scenario`` (a spec or name) drops that scenario's compiled context and
+        every robust cache that includes it; ``None`` drops all contexts and robust
+        caches.  ``apis`` additionally invalidates those APIs' compiled projection /
+        replay caches in the performance model *and* the single-workload result cache
+        (their QPerf contributions are stale) — the drift monitor's refresh hook.
+        """
+        if scenario is None:
+            self._scenario_contexts.clear()
+            self._robust_caches.clear()
+        else:
+            name = scenario.name if isinstance(scenario, ScenarioSpec) else scenario
+            for key in [
+                key
+                for key, context in self._scenario_contexts.items()
+                if context.spec.name == name
+            ]:
+                del self._scenario_contexts[key]
+            for cache_key in [
+                cache_key
+                for cache_key in self._robust_caches
+                if any(spec_key[0] == name for spec_key in cache_key[0])
+            ]:
+                del self._robust_caches[cache_key]
+        if apis is not None:
+            self.performance.invalidate_for_scenario(apis)
+            self._cache.clear()
+            self._robust_caches.clear()
+            self._scenario_contexts.clear()
+
     def _evaluate_uncached(self, plan: MigrationPlan) -> PlanQuality:
         """Per-plan reference oracle; the batched pipeline must match it bitwise."""
         self.evaluations += 1
@@ -233,6 +631,11 @@ class QualityEvaluator:
         )
 
     def is_feasible(self, plan: MigrationPlan) -> bool:
+        if self._bound is not None:
+            # Robust feasibility: the plan must satisfy Eq. 4 under every scenario.
+            return bool(
+                self.feasible_mask([list(self._key(plan))], list(self._canonical))[0]
+            )
         return not self.constraint_violations(plan)
 
     # -- constraints -----------------------------------------------------------------------
@@ -285,9 +688,31 @@ class QualityEvaluator:
         self,
         vectors: Sequence[Sequence[int]],
         components: Optional[Sequence[str]] = None,
+        scenarios: "Optional[ScenarioSet | ScenarioSpec | Sequence[ScenarioSpec]]" = None,
     ) -> np.ndarray:
-        """Per-plan feasibility of a location matrix — the batched ``is_feasible``."""
+        """Per-plan feasibility of a location matrix — the batched ``is_feasible``.
+
+        With ``scenarios`` (or a bound scenario set) a plan is feasible only if it
+        satisfies the constraints under **every** scenario; per-scenario costs hit
+        the scenario cost models' row memos, so a later robust evaluation of the
+        same plans does not pay the cost passes again.
+        """
+        scenario_set, _aggregator = self._resolve_scenarios(scenarios, None)
         matrix, components = self._lower(vectors, components)
+        if scenario_set is not None:
+            mask: Optional[np.ndarray] = None
+            for spec in scenario_set:
+                context = self._scenario_context(spec)
+                cost = (
+                    context.cost.qcost_batch(matrix, components)
+                    if self.preferences.budget_usd != float("inf")
+                    else None
+                )
+                feasible = self._constraint_arrays(
+                    matrix, components, cost, estimate=context.estimate
+                ).feasible
+                mask = feasible if mask is None else (mask & feasible)
+            return mask
         cost = (
             self.cost.qcost_batch(matrix, components)
             if self.preferences.budget_usd != float("inf")
@@ -300,8 +725,15 @@ class QualityEvaluator:
         matrix: np.ndarray,
         components: Sequence[str],
         cost: Optional[np.ndarray],
+        estimate: Optional[ResourceEstimate] = None,
     ) -> _ConstraintArrays:
-        """All constraint masks of Eq. 4 for a plan matrix, in one pass each."""
+        """All constraint masks of Eq. 4 for a plan matrix, in one pass each.
+
+        ``estimate`` selects which period of interest the on-prem peak constraint
+        reads (a scenario's compiled estimate under robust evaluation; the base
+        estimate otherwise).
+        """
+        estimate = estimate if estimate is not None else self.estimate
         n_plans = matrix.shape[0]
         column_of = {c: i for i, c in enumerate(components)}
         infeasible = np.zeros(n_plans, dtype=bool)
@@ -332,7 +764,7 @@ class QualityEvaluator:
             limit = self.preferences.onprem_limit(resource)
             if limit is None:
                 continue
-            peak = self.estimate.peak_matrix(estimator_key, on_prem, components)
+            peak = estimate.peak_matrix(estimator_key, on_prem, components)
             peaks[resource] = (limit, peak)
             infeasible |= peak > limit
         over_budget: Optional[np.ndarray] = None
@@ -420,8 +852,12 @@ class QualityEvaluator:
         return dict(self._weights)
 
     def cache_size(self) -> int:
-        return len(self._cache)
+        """Distinct plans in the active result cache (the bound robust cache, if any)."""
+        return len(self._active_cache())
 
     def evaluated_qualities(self) -> List[PlanQuality]:
-        """Every distinct plan evaluated through this evaluator, in evaluation order."""
-        return list(self._cache.values())
+        """Every distinct plan evaluated through this evaluator, in evaluation order.
+
+        When scenarios are bound, these are the robust qualities of the bound
+        (scenario set, aggregator) — each carrying its per-scenario breakdown."""
+        return list(self._active_cache().values())

@@ -40,7 +40,9 @@ three invariants:
 
 from __future__ import annotations
 
+import copy
 import statistics
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -222,6 +224,88 @@ class ApiPerformanceModel:
         # (The replay is deterministic, so this holds the same numbers as the
         # signature cache without paying for per-row signature tuples.)
         self._row_means: Dict[str, Dict[bytes, float]] = {}
+        # Set on scenario views: APIs whose footprint bytes differ from the base
+        # model's (None = unknown/all).  The base model changes nothing.
+        self._changed_apis: Optional[frozenset] = frozenset()
+        # Weak registry of every model in this family (the base and all scenario
+        # views share the same list), so invalidation reaches every member's
+        # view-owned Δ caches, not just the callee's.
+        self._family: List["weakref.ref[ApiPerformanceModel]"] = [weakref.ref(self)]
+
+    # -- scenario views --------------------------------------------------------------------
+    def scenario_view(
+        self,
+        footprint: NetworkFootprint,
+        changed_apis: Optional[Sequence[str]] = None,
+    ) -> "ApiPerformanceModel":
+        """A lightweight view of this model under a different (payload-scaled) footprint.
+
+        The view shares everything that does not depend on footprint bytes: the sample
+        traces, baseline means, per-API edge/touched sets, the compiled trace sets and
+        — crucially — the replay result caches (``_by_signature`` and ``_row_means``
+        are keyed by the exact Δ map / raw Δ-row bytes, and a replay depends only on
+        the compiled traces plus the Δ row, never on which footprint produced it).  It
+        owns the footprint-dependent Δ caches (projection cache and Δ lookup tables).
+        Scenarios that scale no payloads get back ``self``, sharing everything.
+
+        ``changed_apis`` names the APIs whose footprint bytes actually differ from
+        this model's (``None`` means "assume all changed"): robust evaluation then
+        copies the *unchanged* APIs' impact rows straight from the base impact
+        matrix instead of re-gathering their Δ rows per scenario.
+        """
+        if footprint is self.footprint:
+            return self
+        # Shallow-copy so every attribute (current and future) is shared by
+        # reference, then give the view its own copies of exactly the
+        # footprint-dependent state.
+        view = copy.copy(self)
+        view.footprint = footprint
+        view._delays_by_projection = {}
+        view._delta_tables = {}
+        view._changed_apis = (
+            frozenset(changed_apis) if changed_apis is not None else None
+        )
+        # copy.copy shares the family list by reference — register the new view in
+        # it so invalidation on any member reaches this view's Δ caches.
+        self._family.append(weakref.ref(view))
+        return view
+
+    def invalidate_for_scenario(self, apis: Optional[Sequence[str]] = None) -> None:
+        """Drop the compiled/projection caches of the given APIs (all when ``None``).
+
+        This is the incremental-recompilation hook the drift monitor calls when a
+        refreshed scenario changes some APIs' behaviour: only the named APIs pay the
+        recompile/replay cost on the next evaluation.  The replay caches are shared
+        by every :meth:`scenario_view`, and each view's *own* Δ caches are reached
+        through the family registry — one invalidation on any member covers the base
+        model and every live view.
+        """
+        members: List["ApiPerformanceModel"] = []
+        for reference in self._family:
+            model = reference()
+            if model is not None:
+                members.append(model)
+        self._family[:] = [weakref.ref(model) for model in members]
+        if apis is None:
+            self._compiled.clear()
+            self._by_signature.clear()
+            self._row_means.clear()
+            for model in members:
+                model._delays_by_projection.clear()
+                model._delta_tables.clear()
+            return
+        targets = set(apis)
+
+        def purge(cache: Dict, api_of) -> None:
+            for key in [key for key in cache if api_of(key) in targets]:
+                del cache[key]
+
+        purge(self._compiled, lambda key: key)
+        purge(self._by_signature, lambda key: key[0])
+        purge(self._row_means, lambda key: key)
+        for model in members:
+            purge(model._delays_by_projection, lambda key: key[0])
+            purge(model._delta_tables, lambda key: key)
 
     # -- public API ------------------------------------------------------------------------
     @property
@@ -479,6 +563,63 @@ class ApiPerformanceModel:
             means[plan_index] = cache[key]
         return means
 
+    def impact_matrix(
+        self,
+        plan_matrix: np.ndarray,
+        components: Sequence[str],
+        base_impacts: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-API impact factors of a whole plan matrix: ``(apis, plans)``.
+
+        Row ``i`` is API ``apis[i]``'s ``Lat(A;p)/Lat(A)`` for every plan.  The
+        factors depend only on the placements (through this model's footprint), not
+        on trace weights, so robust evaluation computes them once per performance
+        view and reuses them for every scenario's weighting.
+
+        ``base_impacts`` is the base model's impact matrix for the *same* plan
+        matrix: when this view knows which APIs its footprint actually changes
+        (``scenario_view(..., changed_apis=...)``), unchanged APIs' rows are copied
+        from it — their Δ rows would be byte-identical anyway.
+        """
+        matrix = np.asarray(plan_matrix, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(components):
+            raise ValueError("plan matrix must be (plans, len(components))")
+        columns = self._columns_for(components)
+        impacts = np.empty((len(self._apis), matrix.shape[0]), dtype=np.float64)
+        if matrix.shape[0] == 0:
+            return impacts
+        reusable = (
+            self._changed_apis
+            if base_impacts is not None and self._changed_apis is not None
+            else None
+        )
+        for index, api in enumerate(self._apis):
+            if reusable is not None and api not in reusable:
+                impacts[index] = base_impacts[index]
+                continue
+            baseline = self._baseline_mean[api]
+            if baseline > 0:
+                impacts[index] = self._means_for(api, matrix, columns[api]) / baseline
+            else:
+                impacts[index] = 1.0
+        return impacts
+
+    def qperf_from_impacts(
+        self,
+        impacts: np.ndarray,
+        api_weights: Optional[Mapping[str, float]] = None,
+    ) -> np.ndarray:
+        """Collapse an :meth:`impact_matrix` into QPerf under one trace-weight vector.
+
+        Accumulates API by API in the scalar iteration order, so the result is
+        bitwise equal to :meth:`qperf_batch` (and per-plan ``qperf``) whatever the
+        weights."""
+        totals = np.zeros(impacts.shape[1], dtype=np.float64)
+        for index, api in enumerate(self._apis):
+            weight = api_weights.get(api, 1.0) if api_weights else 1.0
+            totals += weight * impacts[index]
+        return totals / len(self._apis)
+
     def qperf_batch(
         self,
         plan_matrix: np.ndarray,
@@ -491,22 +632,9 @@ class ApiPerformanceModel:
         totals accumulate API by API in the scalar iteration order, so every entry
         matches ``qperf`` of the corresponding plan bit for bit.
         """
-        matrix = np.asarray(plan_matrix, dtype=np.int64)
-        if matrix.ndim != 2 or matrix.shape[1] != len(components):
-            raise ValueError("plan matrix must be (plans, len(components))")
-        totals = np.zeros(matrix.shape[0], dtype=np.float64)
-        if matrix.shape[0] == 0:
-            return totals
-        columns = self._columns_for(components)
-        for api in self._apis:
-            baseline = self._baseline_mean[api]
-            if baseline > 0:
-                impact = self._means_for(api, matrix, columns[api]) / baseline
-            else:
-                impact = np.ones(matrix.shape[0], dtype=np.float64)
-            weight = api_weights.get(api, 1.0) if api_weights else 1.0
-            totals += weight * impact
-        return totals / len(self._apis)
+        return self.qperf_from_impacts(
+            self.impact_matrix(plan_matrix, components), api_weights
+        )
 
     # -- estimates ------------------------------------------------------------------------
     def estimate_latencies(self, api: str, plan: MigrationPlan) -> List[float]:

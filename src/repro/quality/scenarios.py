@@ -1,0 +1,423 @@
+"""The scenario axis: first-class workload scenarios for robust plan evaluation.
+
+The paper's advisor scores plans against *one* expected workload (the observed traffic,
+possibly scaled).  Real recommendation rounds face a family of plausible futures —
+bursts, API-mix shifts, payload growth — and a plan that is optimal for the observed
+workload can be badly suboptimal under a forecast (the burst regret that Figure 2
+motivates).  This module makes that family explicit:
+
+* :class:`ScenarioSpec` describes one workload scenario *relative to the evaluator's
+  base period of interest*: a uniform traffic multiplier (``rate_scale``), per-API
+  relative mix multipliers (``api_rate_factors``, e.g. derived from
+  :meth:`repro.workload.profiles.ApiMix.reweighted`), and per-API payload-size
+  multipliers (``payload_factors``, the internal-drift axis of
+  :class:`~repro.workload.profiles.BehaviorChange`).  Specs are *compiled* by the
+  evaluator into the artifacts the quality models bake in at construction time: a
+  scenario :class:`~repro.learning.estimator.ResourceEstimate` (per-API rate series →
+  autoscaler node series, storage usage, request-rate buckets), a payload-scaled
+  :class:`~repro.learning.footprint.NetworkFootprint` (edge Δ tables + traffic bytes)
+  and a scenario trace-weight vector (the τ_A of QPerf/QAvai).
+* :class:`ScenarioSet` is an ordered, named collection of specs — the S axis of the
+  S×P objective tensor produced by
+  :meth:`repro.quality.evaluator.QualityEvaluator.evaluate_vectors`.
+* :class:`RobustAggregator` collapses the scenario axis back to the scalar objectives
+  the optimizers consume: :class:`WorstCase` (robust optimization's default),
+  :class:`WeightedMean` (forecast-probability weighting) and :class:`CVaR`
+  (conditional value-at-risk over the worst ``alpha`` tail).
+
+Contract: aggregating a single-scenario axis is *bitwise* the identity — ``combine``
+on an ``(1, P)`` tensor returns row 0 unchanged — which is what keeps robust
+evaluation of the default scenario byte-identical to the classic single-workload path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..learning.footprint import EdgeFootprint, NetworkFootprint
+from ..workload.profiles import WorkloadScenario
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioSet",
+    "ScenarioQuality",
+    "RobustAggregator",
+    "WorstCase",
+    "WeightedMean",
+    "CVaR",
+    "scaled_footprint",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One workload scenario, expressed relative to the evaluator's base workload.
+
+    ``rate_scale`` multiplies every API's request-rate series uniformly (the paper's
+    5x burst is ``rate_scale=5``).  ``api_rate_factors`` multiplies individual APIs'
+    rates on top of that — the relative mix shift of an
+    :meth:`~repro.workload.profiles.ApiMix.reweighted` composition drift; the same
+    factors also reweight the τ_A trace weights of QPerf/QAvai so a scenario in which
+    an API carries more traffic also weighs that API's slowdown and disruption more.
+    ``payload_factors`` / ``payload_scale`` multiply the learned per-API network
+    footprints (request+response bytes), which grows both the injected delays (Eq. 2)
+    and the egress traffic bill (Eq. 10) — internal drift à la
+    :class:`~repro.workload.profiles.BehaviorChange`.
+
+    ``weight`` is the scenario's probability mass under weighted aggregators
+    (:class:`WeightedMean`, :class:`CVaR`); :class:`WorstCase` ignores it.
+    """
+
+    name: str
+    rate_scale: float = 1.0
+    api_rate_factors: Mapping[str, float] = field(default_factory=dict)
+    payload_scale: float = 1.0
+    payload_factors: Mapping[str, float] = field(default_factory=dict)
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if self.rate_scale < 0:
+            raise ValueError("rate_scale must be non-negative")
+        if self.payload_scale <= 0:
+            raise ValueError("payload_scale must be positive")
+        if self.weight <= 0:
+            raise ValueError("scenario weight must be positive")
+        for api, factor in self.api_rate_factors.items():
+            if factor < 0:
+                raise ValueError(f"rate factor for API {api!r} must be non-negative")
+        for api, factor in self.payload_factors.items():
+            if factor <= 0:
+                raise ValueError(f"payload factor for API {api!r} must be positive")
+
+    # -- derived factors -------------------------------------------------------------------
+    def rate_factor(self, api: str) -> float:
+        """Total request-rate multiplier of one API under this scenario."""
+        return self.rate_scale * self.api_rate_factors.get(api, 1.0)
+
+    def mix_factor(self, api: str) -> float:
+        """Relative trace-weight multiplier of one API (mix shift only, not the
+        uniform ``rate_scale`` — scaling all APIs alike must not inflate QPerf/QAvai)."""
+        return self.api_rate_factors.get(api, 1.0)
+
+    def payload_factor(self, api: str) -> float:
+        """Network-footprint byte multiplier of one API under this scenario."""
+        return self.payload_scale * self.payload_factors.get(api, 1.0)
+
+    @property
+    def changes_rates(self) -> bool:
+        return self.rate_scale != 1.0 or any(
+            factor != 1.0 for factor in self.api_rate_factors.values()
+        )
+
+    @property
+    def changes_payloads(self) -> bool:
+        return self.payload_scale != 1.0 or any(
+            factor != 1.0 for factor in self.payload_factors.values()
+        )
+
+    @property
+    def is_baseline(self) -> bool:
+        """Whether the spec is the identity transform of the base workload."""
+        return not self.changes_rates and not self.changes_payloads
+
+    def changed_payload_apis(self) -> Optional[frozenset]:
+        """APIs whose footprint bytes this spec changes (``None`` = all of them)."""
+        if self.payload_scale != 1.0:
+            return None
+        return frozenset(
+            api for api, factor in self.payload_factors.items() if factor != 1.0
+        )
+
+    def compile_key(self) -> Tuple:
+        """Identity of the spec's *compiled artifacts* (estimate, footprint, weights).
+
+        Excludes ``weight``: the aggregation weight never enters the compiled
+        models, so weight-only tuning must not recompile scenario contexts.
+        """
+        return (
+            self.name,
+            float(self.rate_scale),
+            tuple(sorted((api, float(f)) for api, f in self.api_rate_factors.items())),
+            float(self.payload_scale),
+            tuple(sorted((api, float(f)) for api, f in self.payload_factors.items())),
+        )
+
+    def key(self) -> Tuple:
+        """Canonical hashable identity used by the evaluator's result caches."""
+        return self.compile_key() + (float(self.weight),)
+
+    # -- construction ----------------------------------------------------------------------
+    @classmethod
+    def from_workload(
+        cls,
+        scenario: WorkloadScenario,
+        base: WorkloadScenario,
+        name: Optional[str] = None,
+        weight: float = 1.0,
+        at_time_ms: Optional[float] = None,
+    ) -> "ScenarioSpec":
+        """Compile a :class:`~repro.workload.profiles.WorkloadScenario` into a spec.
+
+        The spec captures the scenario *relative to* ``base`` (typically the observed
+        workload the evaluator was built on): ``rate_scale`` is the ratio of diurnal
+        mean rates, ``api_rate_factors`` the ratio of the *effective* API-mix
+        probabilities and ``payload_factors`` the ratio of the effective
+        :class:`~repro.workload.profiles.BehaviorChange` payload scales — both sides
+        evaluated after the composition/payload drifts active at ``at_time_ms``
+        (default end of day, each on its own clock).  Taking ratios against the
+        base's effective state keeps chained drift rounds from double-applying
+        changes the base scenario (and the telemetry learned under it) already
+        carries.
+        """
+        time_ms = (
+            at_time_ms if at_time_ms is not None else scenario.profile.duration_ms
+        )
+        base_time_ms = (
+            at_time_ms if at_time_ms is not None else base.profile.duration_ms
+        )
+        base_mean = base.profile.mean_rate()
+        rate_scale = (
+            scenario.profile.mean_rate() / base_mean if base_mean > 0 else 1.0
+        )
+        base_probs = base.mix_at(base_time_ms).probabilities()
+        probs = scenario.mix_at(time_ms).probabilities()
+        # Factors cover every API of the BASE mix: an API the forecast mix drops
+        # (or zeroes) compiles to factor 0.0 — its traffic vanishes in the scenario
+        # rather than silently staying at the observed rate.
+        api_rate_factors = {}
+        for api, base_probability in base_probs.items():
+            if base_probability <= 0:
+                continue
+            factor = probs.get(api, 0.0) / base_probability
+            if factor != 1.0:
+                api_rate_factors[api] = factor
+        payload_factors = {}
+        for api in probs:
+            base_scale = base.payload_scale_at(api, base_time_ms)
+            factor = (
+                scenario.payload_scale_at(api, time_ms) / base_scale
+                if base_scale > 0
+                else 1.0
+            )
+            if factor != 1.0:
+                payload_factors[api] = factor
+        return cls(
+            name=name or scenario.name,
+            rate_scale=rate_scale,
+            api_rate_factors=api_rate_factors,
+            payload_factors=payload_factors,
+            weight=weight,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSet:
+    """An ordered, uniquely-named collection of scenarios — the S axis."""
+
+    scenarios: Tuple[ScenarioSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("a scenario set needs at least one scenario")
+        names = [spec.name for spec in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"scenario names must be unique, got {names}")
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self.scenarios)
+
+    def __getitem__(self, index: int) -> ScenarioSpec:
+        return self.scenarios[index]
+
+    @property
+    def names(self) -> List[str]:
+        return [spec.name for spec in self.scenarios]
+
+    def weight_array(self) -> np.ndarray:
+        return np.asarray([spec.weight for spec in self.scenarios], dtype=np.float64)
+
+    def key(self) -> Tuple:
+        return tuple(spec.key() for spec in self.scenarios)
+
+    # -- construction ----------------------------------------------------------------------
+    @classmethod
+    def baseline(cls, name: str = "baseline") -> "ScenarioSet":
+        """The single default scenario: the evaluator's base workload, unchanged."""
+        return cls((ScenarioSpec(name=name),))
+
+    @classmethod
+    def coerce(
+        cls, scenarios: Union["ScenarioSet", ScenarioSpec, Sequence[ScenarioSpec]]
+    ) -> "ScenarioSet":
+        """Accept a set, a single spec, or any sequence of specs."""
+        if isinstance(scenarios, cls):
+            return scenarios
+        if isinstance(scenarios, ScenarioSpec):
+            return cls((scenarios,))
+        return cls(tuple(scenarios))
+
+    @classmethod
+    def with_bursts(
+        cls,
+        scales: Sequence[float],
+        baseline_name: str = "observed",
+        weight: float = 1.0,
+        include_baseline: bool = True,
+    ) -> "ScenarioSet":
+        """Baseline plus one uniform burst scenario per scale factor."""
+        specs = [ScenarioSpec(name=baseline_name)] if include_baseline else []
+        for scale in scales:
+            specs.append(
+                ScenarioSpec(name=f"burst-x{scale:g}", rate_scale=scale, weight=weight)
+            )
+        return cls(tuple(specs))
+
+    @classmethod
+    def from_workloads(
+        cls,
+        scenarios: Sequence[WorkloadScenario],
+        base: WorkloadScenario,
+        include_baseline: bool = True,
+        baseline_name: str = "observed",
+    ) -> "ScenarioSet":
+        """Compile workload descriptions into a scenario set relative to ``base``."""
+        specs: List[ScenarioSpec] = (
+            [ScenarioSpec(name=baseline_name)] if include_baseline else []
+        )
+        for scenario in scenarios:
+            specs.append(ScenarioSpec.from_workload(scenario, base))
+        return cls(tuple(specs))
+
+
+@dataclass(frozen=True)
+class ScenarioQuality:
+    """Quality of one plan under one scenario (one S-slice of the objective tensor)."""
+
+    scenario: str
+    perf: float
+    avail: float
+    cost: float
+    feasible: bool
+    violations: Tuple[str, ...] = ()
+
+    def objectives(self) -> Tuple[float, float, float]:
+        return (self.perf, self.avail, self.cost)
+
+
+# ---------------------------------------------------------------------------
+# Robust aggregators
+# ---------------------------------------------------------------------------
+
+
+class RobustAggregator:
+    """Collapses an ``(S, P)`` objective tensor slice to a ``(P,)`` scalar objective.
+
+    Contract (enforced by the property suite in ``tests/test_scenarios.py``):
+
+    * **identity on S=1** — ``combine`` of a single-scenario tensor returns row 0
+      bitwise unchanged, whatever the weights;
+    * **monotone** — raising any entry never lowers the aggregate;
+    * **bounded** — the aggregate lies within ``[min, max]`` over the scenario axis.
+    """
+
+    name: str = "aggregator"
+
+    def key(self) -> Tuple:
+        """Hashable identity for the evaluator's per-(scenario set, aggregator) caches."""
+        return (self.name,)
+
+    def combine(self, values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{type(self).__name__}{self.key()[1:]}"
+
+
+class WorstCase(RobustAggregator):
+    """Classic robust optimization: score each plan by its worst scenario."""
+
+    name = "worst-case"
+
+    def combine(self, values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        if values.shape[0] == 1:
+            return values[0]
+        return values.max(axis=0)
+
+
+class WeightedMean(RobustAggregator):
+    """Forecast-probability weighting: the expected objective over the scenario set."""
+
+    name = "weighted-mean"
+
+    def combine(self, values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        if values.shape[0] == 1:
+            return values[0]
+        return (values * weights[:, None]).sum(axis=0) / weights.sum()
+
+
+class CVaR(RobustAggregator):
+    """Conditional value-at-risk: the expected objective over the worst ``alpha`` tail.
+
+    ``alpha=1`` degenerates to :class:`WeightedMean`; ``alpha → 0`` approaches
+    :class:`WorstCase`.  Scenario weights are the probability masses the tail is cut
+    from, with the boundary scenario counted fractionally.
+    """
+
+    name = "cvar"
+
+    def __init__(self, alpha: float = 0.25) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+
+    def key(self) -> Tuple:
+        return (self.name, self.alpha)
+
+    def combine(self, values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        if values.shape[0] == 1:
+            return values[0]
+        order = np.argsort(-values, axis=0, kind="stable")
+        sorted_values = np.take_along_axis(values, order, axis=0)
+        sorted_weights = weights[order]
+        tail_mass = self.alpha * weights.sum()
+        consumed_before = np.cumsum(sorted_weights, axis=0) - sorted_weights
+        used = np.clip(tail_mass - consumed_before, 0.0, sorted_weights)
+        return (sorted_values * used).sum(axis=0) / tail_mass
+
+
+# ---------------------------------------------------------------------------
+# Footprint compilation
+# ---------------------------------------------------------------------------
+
+
+def scaled_footprint(footprint: NetworkFootprint, spec: ScenarioSpec) -> NetworkFootprint:
+    """The learned footprint with the scenario's per-API payload factors applied.
+
+    Returns ``footprint`` itself when the spec scales no payloads, so payload-neutral
+    scenarios share every footprint-derived cache (edge Δ tables, replay rows) with
+    the base scenario.
+    """
+    if not spec.changes_payloads:
+        return footprint
+    edges: List[EdgeFootprint] = []
+    for api in footprint.apis:
+        factor = spec.payload_factor(api)
+        for (source, destination), edge in footprint.edges_of(api).items():
+            edges.append(
+                EdgeFootprint(
+                    api=api,
+                    source=source,
+                    destination=destination,
+                    request_bytes=edge.request_bytes * factor,
+                    response_bytes=edge.response_bytes * factor,
+                )
+            )
+    return NetworkFootprint(edges)

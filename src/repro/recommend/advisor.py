@@ -17,7 +17,7 @@ Everything Atlas consumes comes from the :class:`~repro.telemetry.server.Telemet
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..apps.model import Application
 from ..cluster.network import NetworkModel, default_network_model
@@ -36,6 +36,7 @@ from ..quality.cost import CloudCostModel, PricingCatalog
 from ..quality.evaluator import PlanQuality, QualityEvaluator
 from ..quality.performance import ApiPerformanceModel, PerformanceEstimate
 from ..quality.preferences import MigrationPreferences
+from ..quality.scenarios import RobustAggregator, ScenarioSet, ScenarioSpec, WorstCase
 from ..telemetry.server import TelemetryServer
 from .hierarchy import PlanHierarchy
 
@@ -81,12 +82,21 @@ class ApplicationKnowledge:
 
 @dataclass
 class Recommendation:
-    """Output of one recommendation round."""
+    """Output of one recommendation round.
+
+    Scenario-robust rounds (``Atlas.recommend(scenarios=...)``) additionally carry
+    the scenario set and aggregator the search ran under; every recommended plan's
+    :attr:`~repro.quality.evaluator.PlanQuality.scenarios` holds its per-scenario
+    objective breakdown, and :meth:`scenario_regret` / :meth:`scenario_report`
+    quantify how far each plan sits from the per-scenario optimum.
+    """
 
     result: SearchResult
     evaluator: QualityEvaluator
     estimate: ResourceEstimate
     preferences: MigrationPreferences
+    scenario_set: Optional[ScenarioSet] = None
+    aggregator: Optional[RobustAggregator] = None
 
     @property
     def plans(self) -> List[PlanQuality]:
@@ -108,6 +118,83 @@ class Recommendation:
     def latency_preview(self, plan: MigrationPlan) -> Dict[str, PerformanceEstimate]:
         """Per-API latency preview for one plan (what the owner inspects before executing)."""
         return self.evaluator.performance.estimate_all(plan)
+
+    # -- scenario axis ---------------------------------------------------------------------
+    def scenario_optima(self) -> Dict[str, Tuple[float, float, float]]:
+        """Per-scenario best (perf, avail, cost) over every plan the search visited.
+
+        The per-scenario optimum is taken over all evaluated plans that are feasible
+        *in that scenario* (falling back to all evaluated plans when none is) — the
+        reference point the regret of a robust recommendation is measured against.
+        """
+        if self.scenario_set is None:
+            raise ValueError("this recommendation was not scenario-robust")
+        evaluated = self.evaluator.evaluated_qualities()
+        optima: Dict[str, Tuple[float, float, float]] = {}
+        for spec in self.scenario_set:
+            entries = [
+                scenario
+                for quality in evaluated
+                for scenario in quality.scenarios
+                if scenario.scenario == spec.name
+            ]
+            pool = [entry for entry in entries if entry.feasible] or entries
+            if not pool:
+                raise ValueError("no plans were evaluated under the scenario axis")
+            optima[spec.name] = (
+                min(entry.perf for entry in pool),
+                min(entry.avail for entry in pool),
+                min(entry.cost for entry in pool),
+            )
+        return optima
+
+    @staticmethod
+    def _regret_against(
+        quality: PlanQuality, optima: Dict[str, Tuple[float, float, float]]
+    ) -> Dict[str, Tuple[float, float, float]]:
+        regret: Dict[str, Tuple[float, float, float]] = {}
+        for scenario in quality.scenarios:
+            best = optima[scenario.scenario]
+            regret[scenario.scenario] = (
+                scenario.perf - best[0],
+                scenario.avail - best[1],
+                scenario.cost - best[2],
+            )
+        return regret
+
+    def scenario_regret(
+        self, quality: PlanQuality
+    ) -> Dict[str, Tuple[float, float, float]]:
+        """Per-scenario (perf, avail, cost) regret of one recommended plan.
+
+        Regret is the plan's scenario objective minus the best value any visited
+        plan achieves under that scenario — zero means the plan is per-scenario
+        optimal along that objective, a large value is the price of robustness.
+        """
+        return self._regret_against(quality, self.scenario_optima())
+
+    def scenario_report(self) -> List[Dict[str, object]]:
+        """Per-(recommended plan, scenario) breakdown rows: objectives + regret."""
+        rows: List[Dict[str, object]] = []
+        optima = self.scenario_optima()
+        for index, quality in enumerate(self.plans):
+            regret = self._regret_against(quality, optima)
+            for scenario in quality.scenarios:
+                regret_perf, regret_avail, regret_cost = regret[scenario.scenario]
+                rows.append(
+                    {
+                        "plan": index,
+                        "scenario": scenario.scenario,
+                        "perf": scenario.perf,
+                        "avail": scenario.avail,
+                        "cost": scenario.cost,
+                        "feasible": scenario.feasible,
+                        "regret_perf": regret_perf,
+                        "regret_avail": regret_avail,
+                        "regret_cost": regret_cost,
+                    }
+                )
+        return rows
 
 
 class Atlas:
@@ -236,6 +323,7 @@ class Atlas:
             preferences=preferences,
             estimate=estimate,
             component_order=self.application.component_names,
+            estimator=estimator,
         )
 
     # -- stage 2: recommendation --------------------------------------------------------------
@@ -245,12 +333,34 @@ class Atlas:
         api_rates: Optional[Mapping[str, Sequence[float]]] = None,
         preferences: Optional[MigrationPreferences] = None,
         ga_config: Optional[GAConfig] = None,
+        scenarios: Optional[
+            Union[ScenarioSet, ScenarioSpec, Sequence[ScenarioSpec]]
+        ] = None,
+        aggregator: Optional[RobustAggregator] = None,
     ) -> Recommendation:
-        """Run the DRL-based genetic search and return the Pareto-optimal plans."""
+        """Run the DRL-based genetic search and return the Pareto-optimal plans.
+
+        ``scenarios`` switches on scenario-robust recommendation: each spec describes
+        a workload scenario *relative to* the period of interest (``expected_scale``
+        / ``api_rates``), the search scores every plan over the whole set, and
+        ``aggregator`` (default worst-case) collapses the scenario axis.  The
+        returned plans carry per-scenario objective breakdowns, and the
+        recommendation reports regret against the per-scenario optima.
+        """
+        if aggregator is not None and scenarios is None:
+            raise ValueError(
+                "aggregator only applies to scenario-robust recommendation; "
+                "pass scenarios=... as well"
+            )
         preferences = preferences or self.preferences
         evaluator = self.build_evaluator(
             expected_scale=expected_scale, api_rates=api_rates, preferences=preferences
         )
+        scenario_set: Optional[ScenarioSet] = None
+        if scenarios is not None:
+            scenario_set = ScenarioSet.coerce(scenarios)
+            aggregator = aggregator or WorstCase()
+            evaluator.bind_scenarios(scenario_set, aggregator)
         config = ga_config or self.config.ga
         ga = AtlasGA(
             evaluator,
@@ -265,6 +375,8 @@ class Atlas:
             evaluator=evaluator,
             estimate=evaluator.estimate,
             preferences=preferences,
+            scenario_set=scenario_set,
+            aggregator=aggregator if scenario_set is not None else None,
         )
 
     def _seed_vectors(self, evaluator: QualityEvaluator, config: GAConfig):
