@@ -17,8 +17,22 @@ All three must agree exactly.  Regression bars: the end-to-end batched path must
 at least 5x faster than the recursive path and at least 3x faster than the per-plan
 scoring tail alone (which excludes the tail's own priming cost, so the bar is
 conservative).
+
+**K-objective mode (problem engine).**  The evaluator executes a pluggable
+:class:`~repro.quality.problem.PlacementProblem` instead of a hardcoded triple, so
+this benchmark additionally guards the dispatch cost of that indirection:
+
+* the *raw-kernel reference* re-implements the pre-problem (PR 4) ``_score_matrix``
+  inline — direct ``qperf_batch``/``qavai_batch``/``qcost_batch`` calls, hand-rolled
+  constraint masks, ``PlanQuality`` assembly — and the problem-driven
+  ``evaluate_batch`` for the default K=3 stack must stay within **5%** of it
+  (best-of-``N_REPEATS`` on fresh evaluators, identical results asserted);
+* a K=4 problem (default triple + ``EgressTrafficObjective``) runs the same sample
+  end-to-end to report the marginal cost of one extra objective column (its first
+  three columns must equal the K=3 run bitwise).
 """
 
+import gc
 import time
 
 import numpy as np
@@ -27,11 +41,94 @@ from _shared import run_once, social_testbed
 
 from repro.analysis import format_table
 from repro.cluster import MigrationPlan
+from repro.cluster.topology import ON_PREM
+from repro.quality import EgressTrafficObjective, PlacementProblem, PlanQuality
 
 #: Random candidate plans scored by all paths (distinct plans, like a GA sample).
 N_PLANS = 1_500
 #: Subset scored by the (much slower) per-plan recursive oracle.
 N_PLANS_REFERENCE = 400
+#: Timing repeats (fresh evaluator each) for the K=3 overhead bar; best-of wins.
+N_REPEATS = 7
+#: Distinct plans per overhead-bar timing sample: larger than N_PLANS so each
+#: sample is long enough (~100ms+) for a 5% bar to sit above scheduler noise.
+N_PLANS_OVERHEAD = 4_000
+#: Maximum tolerated slowdown of the problem engine vs the raw-kernel reference.
+K3_OVERHEAD_BAR = 1.05
+
+
+def _raw_kernel_batch(evaluator, plans):
+    """The pre-problem (PR 4) ``evaluate_batch``, inlined: the overhead baseline.
+
+    Dedup → direct objective kernels → hand-rolled constraint masks →
+    ``PlanQuality`` assembly with lazy violation strings, no plugin dispatch.
+    Results must equal the problem-driven engine exactly.
+    """
+    keys = [evaluator._key(plan) for plan in plans]
+    cache = {}
+    missing = {}
+    for key, plan in zip(keys, plans):
+        if key not in cache and key not in missing:
+            missing[key] = plan
+    plans_list = list(missing.values())
+    matrix = np.asarray([plan.to_vector() for plan in plans_list])
+    components = plans_list[0].components
+    preferences = evaluator.preferences
+    weights = evaluator._weights
+    perf = evaluator.performance.qperf_batch(matrix, components, weights)
+    avail = evaluator.availability.qavai_batch(matrix, components, weights)
+    cost = evaluator.cost.qcost_batch(matrix, components)
+    column_of = {c: i for i, c in enumerate(components)}
+    infeasible = np.zeros(matrix.shape[0], dtype=bool)
+    pin_violated = []
+    for component, location in preferences.pinned_placement.items():
+        mask = matrix[:, column_of[component]] != location
+        pin_violated.append((component, location, mask))
+        infeasible |= mask
+    on_prem = matrix == ON_PREM
+    peaks = {}
+    for resource in ("cpu_millicores", "memory_mb", "storage_gb"):
+        limit = preferences.onprem_limit(resource)
+        if limit is None:
+            continue
+        peak = evaluator.estimate.peak_matrix(resource, on_prem, components)
+        peaks[resource] = (limit, peak)
+        infeasible |= peak > limit
+    if preferences.budget_usd != float("inf"):
+        infeasible |= cost > preferences.budget_usd
+    qualities = []
+    for row, plan in enumerate(plans_list):
+        feasible = not infeasible[row]
+        violations = []
+        if not feasible:
+            for component, location, mask in pin_violated:
+                if mask[row]:
+                    violations.append(
+                        f"component {component} must stay at location {location}"
+                    )
+            for resource, (limit, peak) in peaks.items():
+                if peak[row] > limit:
+                    violations.append(
+                        f"on-prem {resource} peak {peak[row]:.0f} exceeds limit {limit:.0f}"
+                    )
+            if preferences.budget_usd != float("inf") and cost[row] > preferences.budget_usd:
+                violations.append(
+                    f"cost {cost[row]:.2f} USD exceeds budget "
+                    f"{preferences.budget_usd:.2f} USD"
+                )
+        qualities.append(
+            PlanQuality(
+                plan=plan,
+                perf=float(perf[row]),
+                avail=float(avail[row]),
+                cost=float(cost[row]),
+                feasible=feasible,
+                violations=tuple(violations),
+            )
+        )
+    for key, quality in zip(missing, qualities):
+        cache[key] = quality
+    return [cache[key] for key in keys]
 
 
 def _random_plans(testbed, count: int, seed: int = 123):
@@ -78,13 +175,72 @@ def test_eval_throughput(benchmark):
         start = time.perf_counter()
         batched_qualities = batched.evaluate_batch(plans)
         batched_s = time.perf_counter() - start
+
+        # K=3 overhead bar: problem-driven evaluate_batch vs the inlined PR 4
+        # pipeline, best-of-N on fresh evaluators so neither path sees warm caches.
+        # A larger distinct-plan sample keeps each timing well above scheduler
+        # noise, and the A/B order alternates per repeat to cancel ramp effects.
+        overhead_plans = _random_plans(testbed, N_PLANS_OVERHEAD, seed=321)
+        problem_s = float("inf")
+        kernel_s = float("inf")
+        kernel_qualities = None
+        problem_qualities = None
+        def time_problem():
+            nonlocal problem_s, problem_qualities
+            engine = build()
+            gc.collect()
+            start = time.perf_counter()
+            problem_qualities = engine.evaluate_batch(overhead_plans)
+            problem_s = min(problem_s, time.perf_counter() - start)
+
+        def time_kernel():
+            nonlocal kernel_s, kernel_qualities
+            raw = build()
+            gc.collect()
+            start = time.perf_counter()
+            kernel_qualities = _raw_kernel_batch(raw, overhead_plans)
+            kernel_s = min(kernel_s, time.perf_counter() - start)
+
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for repeat in range(N_REPEATS):
+                if repeat % 2 == 0:
+                    time_problem()
+                    time_kernel()
+                else:
+                    time_kernel()
+                    time_problem()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        # K=4 mode: the default triple plus the shipped egress objective.
+        k4 = testbed.atlas.build_evaluator(
+            expected_scale=testbed.expected_scale,
+            problem=PlacementProblem.default(
+                preferences=testbed.preferences,
+                extra_objectives=(EgressTrafficObjective(),),
+            ),
+        )
+        start = time.perf_counter()
+        k4_qualities = k4.evaluate_batch(plans)
+        k4_s = time.perf_counter() - start
         return {
             "reference_s": reference_s,
             "tail_s": tail_s,
             "batched_s": batched_s,
+            "problem_s": problem_s,
+            "kernel_s": kernel_s,
+            "k4_s": k4_s,
             "reference_objectives": [q.objectives() for q in reference_qualities],
             "tail_objectives": [q.objectives() for q in tail_qualities],
             "batched_objectives": [q.objectives() for q in batched_qualities],
+            "kernel_objectives": [q.objectives() for q in kernel_qualities],
+            "problem_objectives": [q.objectives() for q in problem_qualities],
+            "kernel_violations": [q.violations for q in kernel_qualities],
+            "problem_violations": [q.violations for q in problem_qualities],
+            "k4_objectives": [q.objectives() for q in k4_qualities],
             "tail_violations": [q.violations for q in tail_qualities],
             "batched_violations": [q.violations for q in batched_qualities],
         }
@@ -114,13 +270,48 @@ def test_eval_throughput(benchmark):
             "seconds": round(result["batched_s"], 3),
             "plans_per_s": round(batched_rate, 1),
         },
+        {
+            "path": "raw-kernel reference (PR 4 inline, best-of)",
+            "plans": N_PLANS_OVERHEAD,
+            "seconds": round(result["kernel_s"], 3),
+            "plans_per_s": round(N_PLANS_OVERHEAD / result["kernel_s"], 1),
+        },
+        {
+            "path": "problem engine K=3 (best-of)",
+            "plans": N_PLANS_OVERHEAD,
+            "seconds": round(result["problem_s"], 3),
+            "plans_per_s": round(N_PLANS_OVERHEAD / result["problem_s"], 1),
+        },
+        {
+            "path": "problem engine K=4 (+egress objective)",
+            "plans": N_PLANS,
+            "seconds": round(result["k4_s"], 3),
+            "plans_per_s": round(N_PLANS / result["k4_s"], 1),
+        },
     ]
     print()
     print(format_table(rows, title="Plan-evaluation throughput (social-network testbed)"))
-    print(f"speedup vs recursive: {reference_speedup:.1f}x, vs scoring tail: {tail_speedup:.1f}x")
+    overhead = result["problem_s"] / result["kernel_s"]
+    print(
+        f"speedup vs recursive: {reference_speedup:.1f}x, vs scoring tail: "
+        f"{tail_speedup:.1f}x; problem-engine overhead vs raw kernels: "
+        f"{(overhead - 1.0) * 100.0:+.1f}%"
+    )
     # All paths must produce identical objective vectors (and violations) per plan.
     assert result["batched_objectives"][:N_PLANS_REFERENCE] == result["reference_objectives"]
     assert result["batched_objectives"] == result["tail_objectives"]
     assert result["batched_violations"] == result["tail_violations"]
+    # The problem engine is the raw-kernel pipeline plus dispatch: same results...
+    assert result["problem_objectives"] == result["kernel_objectives"]
+    assert result["problem_violations"] == result["kernel_violations"]
+    # ...and the K=4 run's first three columns are the K=3 objectives bitwise.
+    assert [tuple(o)[:3] for o in result["k4_objectives"]] == [
+        tuple(o) for o in result["batched_objectives"]
+    ]
+    assert all(len(tuple(o)) == 4 for o in result["k4_objectives"])
     assert reference_speedup >= 5.0
     assert tail_speedup >= 3.0
+    # Dispatch-overhead bar: the default K=3 stack must stay within 5% of PR 4.
+    assert overhead <= K3_OVERHEAD_BAR, (
+        f"problem-engine overhead {overhead:.3f}x exceeds the {K3_OVERHEAD_BAR}x bar"
+    )

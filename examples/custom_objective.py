@@ -1,0 +1,120 @@
+"""Egress-aware recommendation: a K=4 placement problem through the plugin API.
+
+Run with ``python examples/custom_objective.py``.  The script
+
+1. learns the social network from simulated telemetry (as in the quickstart),
+2. declares a :class:`~repro.quality.problem.PlacementProblem` — the paper's exact
+   QPerf / QAvai / QCost stack *plus* the shipped
+   :class:`~repro.quality.problem.EgressTrafficObjective` (cross-location GB from the
+   learned network footprints) as a fourth Pareto axis,
+3. runs ``Atlas.recommend(problem=...)`` — the declarative front door — and prints
+   the 4-D Pareto front, knee point first (distance-to-ideal ordering),
+4. defines a tiny *custom* objective inline (components moved off-prem) and re-runs
+   the search with K=5, showing that the GA, NSGA-II machinery and the result
+   surface all follow the problem's dimensionality with zero optimizer changes.
+"""
+
+from repro import Atlas, MigrationPreferences
+from repro.analysis import format_table
+from repro.apps import build_social_network
+from repro.optimizer import GAConfig
+from repro.quality import EgressTrafficObjective, Objective, PlacementProblem
+from repro.recommend import AtlasConfig
+from repro.simulator import simulate_workload
+from repro.workload import WorkloadGenerator, default_scenario
+
+
+class OffloadCountObjective(Objective):
+    """Custom plugin: the number of components placed off-prem (minimized).
+
+    One vectorized pass over the shared P×C location-matrix context is all a new
+    objective needs; the scalar oracle falls back to a one-row matrix automatically.
+    """
+
+    name = "offloaded"
+
+    def score_matrix(self, ctx):
+        return (ctx.matrix != 0).sum(axis=1).astype(float)
+
+
+def main() -> None:
+    app = build_social_network()
+    scenario = default_scenario(app, base_rps=12, peak_rps=22, duration_ms=90_000)
+    requests = WorkloadGenerator(app, scenario, seed=7).generate(
+        scenario.profile.duration_ms
+    )
+    learning = simulate_workload(app, requests, seed=7)
+
+    atlas = Atlas(
+        app,
+        config=AtlasConfig(
+            traces_per_api=10,
+            ga=GAConfig(
+                population_size=60,
+                offspring_per_generation=30,
+                evaluation_budget=2_000,
+                train_iterations=120,
+                train_batch_size=2,
+                seed=1,
+            ),
+        ),
+    )
+    atlas.learn(learning.telemetry)
+
+    burst_scale = 5.0
+    peak_cpu = atlas.knowledge.estimator.predict_scaled(burst_scale).peak(
+        "cpu_millicores", app.component_names
+    )
+    preferences = MigrationPreferences.pin_on_prem(
+        ["UserMongoDB", "PostStorageMongoDB", "MediaMongoDB"],
+        onprem_limits={"cpu_millicores": 0.8 * peak_cpu},
+    )
+
+    # The declarative front door: the paper's stack + egress GB as a 4th axis.
+    problem = PlacementProblem.default(
+        preferences=preferences,
+        extra_objectives=(EgressTrafficObjective(),),
+    )
+    recommendation = atlas.recommend(expected_scale=burst_scale, problem=problem)
+
+    print(f"Objectives: {recommendation.problem.objective_names}")
+    rows = [
+        {
+            "rank": i,  # knee point (balanced compromise) first
+            "perf_impact": q.value("qperf"),
+            "disrupted_apis": q.value("qavai"),
+            "cost_usd": q.value("qcost"),
+            "egress_gb": q.value("egress_gb"),
+            "offloaded": len(q.plan.offloaded()),
+        }
+        for i, q in enumerate(recommendation.plans)
+    ]
+    print()
+    print(format_table(rows, title="4-D Pareto front (knee-ordered): paper triple + egress"))
+
+    knee = recommendation.knee_point()
+    frugal = recommendation.best_for("egress_gb")
+    print()
+    print(f"Knee point offloads        : {sorted(knee.plan.offloaded())}")
+    print(
+        f"Egress-optimal plan        : {sorted(frugal.plan.offloaded())} "
+        f"({frugal.value('egress_gb'):.2f} GB cross-location)"
+    )
+
+    # A custom objective widens the same search to K=5 — no optimizer changes.
+    recommendation5 = atlas.recommend(
+        expected_scale=burst_scale,
+        problem=problem.with_objectives(OffloadCountObjective()),
+    )
+    print()
+    print(f"K=5 objectives: {recommendation5.problem.objective_names}")
+    print(f"K=5 front size: {len(recommendation5.plans)}")
+    best = recommendation5.best_for("offloaded")
+    print(
+        f"Fewest-moves plan offloads : {sorted(best.plan.offloaded())} "
+        f"(cost ${best.value('qcost'):.2f}, egress {best.value('egress_gb'):.2f} GB)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,7 @@ from .cluster import MigrationPlan, default_hybrid_cluster, default_network_mode
 from .quality import (
     CVaR,
     MigrationPreferences,
+    PlacementProblem,
     ScenarioSet,
     ScenarioSpec,
     WeightedMean,
@@ -54,6 +55,7 @@ __all__ = [
     "Recommendation",
     "MigrationPlan",
     "MigrationPreferences",
+    "PlacementProblem",
     "ScenarioSpec",
     "ScenarioSet",
     "WorstCase",

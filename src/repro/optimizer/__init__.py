@@ -22,8 +22,10 @@ from .nsga2 import (
 )
 from .pareto import (
     crowding_distance,
+    distance_to_ideal,
     dominates,
     hypervolume_2d,
+    knee_index,
     non_dominated_sort,
     pareto_front,
 )
@@ -34,6 +36,8 @@ __all__ = [
     "non_dominated_sort",
     "crowding_distance",
     "hypervolume_2d",
+    "distance_to_ideal",
+    "knee_index",
     "RankedIndividual",
     "rank_population",
     "binary_tournament",

@@ -16,6 +16,13 @@ random initialization spreads components over all remote sites, mutation flips g
 any other location, and the memetic neighbourhood relocates components/pairs/API paths
 to every site.  The default ``(ON_PREM, CLOUD)`` reproduces the paper's two-location
 search bit-for-bit (identical RNG consumption, identical trajectories).
+
+**K objectives.**  The loop is objective-count agnostic: NSGA-II ranking, the Deb
+penalty, the elite local search (one sweep per objective of the evaluator's
+:class:`~repro.quality.problem.PlacementProblem`) and the Eq. 5 reward (which counts
+improved aspects over *all* K objectives) follow the problem's dimensionality, so a
+K=4 problem widens the Pareto search with zero changes here.  The default
+three-objective problem reproduces the paper's search bit-for-bit.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from .nsga2 import (
     tournament_pairs,
     uniform_crossover,
 )
-from .pareto import pareto_front
+from .pareto import distance_to_ideal, knee_index, pareto_front
 
 __all__ = [
     "GAConfig",
@@ -182,13 +189,12 @@ def affinity_seed_vectors(
     return seeds
 
 
-def penalized_objectives(quality: PlanQuality) -> Tuple[float, float, float]:
-    """Objective vector with constraint-violation penalties (Deb-style feasibility rule)."""
+def penalized_objectives(quality: PlanQuality) -> Tuple[float, ...]:
+    """K-objective vector with constraint-violation penalties (Deb-style feasibility rule)."""
     if quality.feasible:
-        return quality.objectives()
+        return tuple(quality.objectives())
     penalty = _INFEASIBILITY_PENALTY * len(quality.violations)
-    perf, avail, cost = quality.objectives()
-    return (perf + penalty, avail + penalty, cost + penalty)
+    return tuple(value + penalty for value in quality.objectives())
 
 
 @dataclass
@@ -234,7 +240,8 @@ class SearchResult:
     ``all_evaluated`` holds every *distinct* plan the evaluator scored during the run
     (including agent-training probes and local-search candidates — the full "plans
     visited" accounting of the paper); ``final_population`` is just the surviving
-    population of the last generation.
+    population of the last generation.  ``objective_names`` labels the K columns of
+    every objective vector (the problem's column order).
     """
 
     pareto: List[PlanQuality]
@@ -244,12 +251,23 @@ class SearchResult:
     wall_clock_s: float
     all_evaluated: List[PlanQuality] = field(default_factory=list)
     final_population: List[PlanQuality] = field(default_factory=list)
+    objective_names: Tuple[str, ...] = ("qperf", "qavai", "qcost")
 
     # -- plan selection shortcuts (Figures 12-14) ------------------------------------------
     def _best(self, index: int) -> PlanQuality:
         if not self.pareto:
             raise ValueError("no feasible plan was found")
         return min(self.pareto, key=lambda q: q.objectives()[index])
+
+    def best_for(self, objective: str) -> PlanQuality:
+        """The front's best plan along one named objective (any of ``objective_names``)."""
+        try:
+            index = self.objective_names.index(objective)
+        except ValueError:
+            raise KeyError(
+                f"no objective named {objective!r} in {self.objective_names}"
+            ) from None
+        return self._best(index)
 
     def performance_optimized(self) -> PlanQuality:
         return self._best(0)
@@ -260,8 +278,24 @@ class SearchResult:
     def cost_optimized(self) -> PlanQuality:
         return self._best(2)
 
-    def front_points(self) -> List[Tuple[float, float, float]]:
-        return [q.objectives() for q in self.pareto]
+    def front_points(self) -> List[Tuple[float, ...]]:
+        """The K-dimensional objective vectors of the Pareto front."""
+        return [tuple(q.objectives()) for q in self.pareto]
+
+    def knee_point(self) -> PlanQuality:
+        """The front's balanced compromise: minimum distance-to-ideal on the
+        normalized front (see :func:`~repro.optimizer.pareto.knee_index`)."""
+        if not self.pareto:
+            raise ValueError("no feasible plan was found")
+        return self.pareto[knee_index(self.front_points())]
+
+    def knee_ordered(self) -> List[PlanQuality]:
+        """The front ordered by distance-to-ideal (knee first, stable on ties)."""
+        if not self.pareto:
+            return []
+        distances = distance_to_ideal(self.front_points())
+        order = np.argsort(distances, kind="stable")
+        return [self.pareto[int(i)] for i in order]
 
 
 class AtlasGA:
@@ -493,7 +527,7 @@ class AtlasGA:
         ]
         if not feasible:
             return improved
-        for objective_index in range(3):
+        for objective_index in range(self.evaluator.problem.K):
             vector, quality = min(feasible, key=lambda vq: vq[1].objectives()[objective_index])
             best_vector = list(vector)
             best_value = quality.objectives()[objective_index]
@@ -589,4 +623,5 @@ class AtlasGA:
             wall_clock_s=time.perf_counter() - start,
             all_evaluated=self.evaluator.evaluated_qualities()[preexisting:],
             final_population=qualities,
+            objective_names=self.evaluator.problem.objective_names,
         )

@@ -34,6 +34,15 @@ The multi-plan baselines are matrix-native: populations are location vectors sco
 through the evaluator's plan-matrix pipeline (``feasible_mask``, ``qcost_batch``,
 ``evaluate_vectors``); :class:`MigrationPlan` objects are built only for the returned
 fronts.
+
+**K objectives.**  Random search keeps the Pareto set under Atlas's own quality
+model, so its fronts follow the evaluator's
+:class:`~repro.quality.problem.PlacementProblem` dimensionality (K-dim dominance via
+``PlanQuality.objectives()``).  The affinity NSGA-II keeps its *own* two-objective
+space (cross-DC traffic, cloud cost) by design — it models prior work that has no
+notion of API workflows — but its feasibility and cost doors
+(``feasible_mask``/``qcost_vectors``) run against whatever problem and scenario
+binding the shared evaluator carries.
 """
 
 from __future__ import annotations

@@ -17,6 +17,8 @@ __all__ = [
     "non_dominated_sort",
     "crowding_distance",
     "hypervolume_2d",
+    "distance_to_ideal",
+    "knee_index",
 ]
 
 T = TypeVar("T")
@@ -102,6 +104,34 @@ def crowding_distance(objectives: Sequence[Sequence[float]]) -> List[float]:
                 continue
             distance[i] += (arr[order[idx + 1], k] - arr[order[idx - 1], k]) / span
     return distance
+
+
+def distance_to_ideal(points: Sequence[Sequence[float]]) -> np.ndarray:
+    """Euclidean distance of each point to the ideal corner of the normalized front.
+
+    The front is normalized per objective to [0, 1] over its own span (degenerate
+    objectives — identical on every point — contribute zero), and the ideal point is
+    the per-objective minimum, i.e. the all-zeros corner.  Works for any number of
+    objectives; all objectives minimized.
+    """
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise ValueError("distance_to_ideal needs a non-empty (points, K) matrix")
+    lo = arr.min(axis=0)
+    hi = arr.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    normalized = (arr - lo) / span
+    return np.sqrt((normalized**2).sum(axis=1))
+
+
+def knee_index(points: Sequence[Sequence[float]]) -> int:
+    """Index of the front's knee point: the minimizer of :func:`distance_to_ideal`.
+
+    The knee is the balanced compromise — the plan closest to being best at
+    everything at once — and is how :class:`~repro.recommend.advisor.Recommendation`
+    orders its plans (knee first).  Ties break toward the earliest point.
+    """
+    return int(np.argmin(distance_to_ideal(points)))
 
 
 def hypervolume_2d(

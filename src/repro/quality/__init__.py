@@ -1,5 +1,11 @@
 """Migration quality modeling: performance (delay injection), availability, cost.
 
+The objective/constraint surface is a plugin API (:mod:`repro.quality.problem`):
+``PlacementProblem`` declares K objectives + constraints (+ an optional scenario
+axis) and ``QualityEvaluator`` executes it over plan matrices; the paper's QPerf /
+QAvai / QCost triple and the Eq. 4 constraints are the built-in plugins, and
+``PlacementProblem.default()`` reproduces them byte-for-byte.
+
 The scenario axis (:mod:`repro.quality.scenarios`) threads workload scenarios —
 bursts, mix shifts, payload growth — through the whole stack: ``ScenarioSet`` names
 the S axis, ``RobustAggregator`` collapses the S×P objective tensor, and
@@ -13,6 +19,28 @@ from .cost import CloudCostModel, CostEstimate, PricingCatalog
 from .evaluator import PlanQuality, QualityEvaluator
 from .performance import ApiPerformanceModel, DelayInjector, PerformanceEstimate
 from .preferences import MigrationPreferences
+from .problem import (
+    AllowedLocationsConstraint,
+    BudgetConstraint,
+    Constraint,
+    ConstraintCheck,
+    EgressTrafficObjective,
+    EvalContext,
+    MigrationChurnObjective,
+    Objective,
+    OnPremPeakConstraint,
+    PinnedPlacementConstraint,
+    PlacementProblem,
+    QAvaiObjective,
+    QCostObjective,
+    QPerfObjective,
+    make_constraint,
+    make_objective,
+    register_constraint,
+    register_objective,
+    registered_constraints,
+    registered_objectives,
+)
 from .scenarios import (
     CVaR,
     RobustAggregator,
@@ -38,6 +66,26 @@ __all__ = [
     "MigrationPreferences",
     "PlanQuality",
     "QualityEvaluator",
+    "PlacementProblem",
+    "Objective",
+    "Constraint",
+    "ConstraintCheck",
+    "EvalContext",
+    "QPerfObjective",
+    "QAvaiObjective",
+    "QCostObjective",
+    "EgressTrafficObjective",
+    "MigrationChurnObjective",
+    "PinnedPlacementConstraint",
+    "AllowedLocationsConstraint",
+    "OnPremPeakConstraint",
+    "BudgetConstraint",
+    "register_objective",
+    "register_constraint",
+    "make_objective",
+    "make_constraint",
+    "registered_objectives",
+    "registered_constraints",
     "ScenarioSpec",
     "ScenarioSet",
     "ScenarioQuality",

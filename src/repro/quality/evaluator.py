@@ -1,22 +1,36 @@
-"""Plan quality evaluation: the objective vector and feasibility check of Eq. 4.
+"""Plan quality evaluation: the K-objective execution engine behind the problem API.
 
-:class:`QualityEvaluator` bundles the three quality models (performance, availability,
-cost), the owner's preferences and the resource estimate into a single object that the
-optimizers query: ``evaluate(plan)`` returns a :class:`PlanQuality` with the objective
-values, feasibility and the list of violated constraints.  Evaluations are cached by
-plan, which matters because genetic search revisits plans frequently.
+:class:`QualityEvaluator` bundles the quality models (performance, availability,
+cost), the owner's preferences, the resource estimate and a declarative
+:class:`~repro.quality.problem.PlacementProblem` into a single object the optimizers
+query: ``evaluate(plan)`` returns a :class:`PlanQuality` with the K objective values,
+feasibility and the list of violated constraints.  Evaluations are cached by plan,
+which matters because genetic search revisits plans frequently.
+
+**Problem-driven scoring.**  The evaluator no longer hardcodes the paper's QPerf /
+QAvai / QCost triple: it executes whatever
+:class:`~repro.quality.problem.Objective` / :class:`~repro.quality.problem.Constraint`
+plugins its problem declares.  The default problem is the paper's exact stack
+(built-in plugins over the same batched kernels), byte-identical to the hardcoded
+pipeline it replaced; appending plugins widens every result to K dimensions with zero
+optimizer changes.
 
 **Plan-matrix pipeline.**  The unit of batched evaluation is a ``(plans, components)``
 integer location matrix, not a list of :class:`MigrationPlan` objects:
 ``evaluate_vectors`` (and ``evaluate_batch``, which lowers plan lists onto it) dedups
-the generation into one matrix and scores all three objectives plus feasibility in a
-handful of vectorized passes — one compiled replay per API for QPerf, one autoscaler
-pass per billable site for QCost, one stateful-column pass per API for QAvai, and
-boolean constraint masks for pins, location whitelists, on-prem peaks and the budget.
-Each plan's cost is computed exactly once per evaluation and reused by the budget
-check; violation strings are materialized lazily, only for infeasible plans.  The
-per-plan path (:meth:`evaluate`) is kept as the reference oracle: batched scores are
-bitwise identical to it, and the ``evaluations`` counter advances the same way.
+the generation into one matrix and scores all K objectives plus feasibility in a
+handful of vectorized passes — one ``score_matrix`` call per objective (one compiled
+replay per API for QPerf, one autoscaler pass per billable site for QCost, one
+stateful-column pass per API for QAvai) and one boolean mask per constraint.  Each
+plan's cost is computed exactly once per evaluation and reused by the budget check;
+violation strings are materialized lazily, only for infeasible plans.  The per-plan
+path (:meth:`evaluate`) is kept as the reference oracle: batched scores are bitwise
+identical to it, and the ``evaluations`` counter advances the same way.
+
+**Scenario axis.**  With a scenario set (explicit, bound, or declared on the
+problem), every objective is scored once per compiled scenario into per-objective
+``(S, P)`` tensors that collapse through the robust aggregator; a plan is feasible
+iff it is feasible under every scenario.
 """
 
 from __future__ import annotations
@@ -27,12 +41,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..cluster.placement import MigrationPlan
-from ..cluster.topology import ON_PREM
 from ..learning.estimator import ResourceEstimate, ResourceEstimator
 from .availability import ApiAvailabilityModel
 from .cost import CloudCostModel
 from .performance import ApiPerformanceModel
 from .preferences import MigrationPreferences
+from .problem import (
+    DEFAULT_OBJECTIVE_NAMES,
+    ONPREM_RESOURCES,
+    ConstraintCheck,
+    EvalContext,
+    PlacementProblem,
+)
 from .scenarios import (
     RobustAggregator,
     ScenarioQuality,
@@ -44,20 +64,23 @@ from .scenarios import (
 
 __all__ = ["PlanQuality", "QualityEvaluator"]
 
-#: Resources checked against the on-prem limits (metric name -> estimator resource key).
-_ONPREM_RESOURCES = {
-    "cpu_millicores": "cpu_millicores",
-    "memory_mb": "memory_mb",
-    "storage_gb": "storage_gb",
-}
+#: Backwards-compatible alias (the table moved to :mod:`repro.quality.problem`).
+_ONPREM_RESOURCES = ONPREM_RESOURCES
 
 
 @dataclass(frozen=True)
 class PlanQuality:
     """Quality of one migration plan.
 
-    Under scenario-robust evaluation the objective fields hold the *aggregated*
-    values (the :class:`~repro.quality.scenarios.RobustAggregator` output),
+    ``values`` holds the K minimized objective values in the problem's column order
+    and ``names`` their labels; the legacy ``perf`` / ``avail`` / ``cost`` fields are
+    the paper-triple view of that vector (mapped by objective name, positional for
+    problems that replace the built-ins).  Results constructed the historical way —
+    just the triple, no ``values`` — behave identically: :meth:`objectives` falls
+    back to ``(perf, avail, cost)``.
+
+    Under scenario-robust evaluation the objective values are the *aggregated*
+    ones (the :class:`~repro.quality.scenarios.RobustAggregator` output),
     ``feasible`` means feasible under **every** scenario, and ``scenarios`` carries
     the per-scenario breakdown; classic single-workload evaluation leaves
     ``scenarios`` empty.
@@ -70,10 +93,25 @@ class PlanQuality:
     feasible: bool
     violations: Tuple[str, ...] = ()
     scenarios: Tuple[ScenarioQuality, ...] = ()
+    values: Optional[Tuple[float, ...]] = None
+    names: Optional[Tuple[str, ...]] = None
 
-    def objectives(self) -> Tuple[float, float, float]:
-        """(QPerf, QAvai, QCost) — all minimized."""
+    def objectives(self) -> Tuple[float, ...]:
+        """The K-vector of minimized objective values (the paper's triple by default)."""
+        if self.values is not None:
+            return self.values
         return (self.perf, self.avail, self.cost)
+
+    def objective_names(self) -> Tuple[str, ...]:
+        return self.names if self.names is not None else DEFAULT_OBJECTIVE_NAMES
+
+    def value(self, name: str) -> float:
+        """One objective value by name (e.g. ``quality.value("egress_gb")``)."""
+        names = self.objective_names()
+        try:
+            return self.objectives()[names.index(name)]
+        except ValueError:
+            raise KeyError(f"no objective named {name!r} in {names}") from None
 
     def dominates(self, other: "PlanQuality") -> bool:
         """Pareto dominance on the objective vector (feasibility handled upstream)."""
@@ -81,17 +119,6 @@ class PlanQuality:
         return all(a <= b for a, b in zip(mine, theirs)) and any(
             a < b for a, b in zip(mine, theirs)
         )
-
-
-@dataclass
-class _ConstraintArrays:
-    """Batched constraint masks plus the numbers violation strings are built from."""
-
-    feasible: np.ndarray
-    pin_violated: List[Tuple[str, int, np.ndarray]]
-    location_violated: List[Tuple[str, Tuple[int, ...], np.ndarray, np.ndarray]]
-    peaks: Dict[str, Tuple[float, np.ndarray]]
-    over_budget: Optional[np.ndarray]
 
 
 @dataclass
@@ -113,7 +140,11 @@ class _ScenarioContext:
 
 
 class QualityEvaluator:
-    """Evaluates plans against the three objectives and the constraints of Eq. 4."""
+    """Executes a :class:`~repro.quality.problem.PlacementProblem` over plan matrices.
+
+    Without an explicit ``problem`` this is the paper's Eq. 4 evaluator: the three
+    quality objectives under the pin / whitelist / on-prem-peak / budget constraints.
+    """
 
     def __init__(
         self,
@@ -124,14 +155,23 @@ class QualityEvaluator:
         estimate: ResourceEstimate,
         component_order: Optional[Sequence[str]] = None,
         estimator: Optional[ResourceEstimator] = None,
+        problem: Optional[PlacementProblem] = None,
     ) -> None:
         """``estimator`` (the fitted resource estimator the base ``estimate`` came
         from) is only needed for scenario-robust evaluation of scenarios that change
         request rates — it re-predicts the per-component usage series under each
-        scenario's per-API rate series."""
+        scenario's per-API rate series.
+
+        ``problem`` declares the objective/constraint stack (default: the paper's
+        three objectives and Eq. 4 constraints).  A problem with its own
+        ``preferences`` overrides the ``preferences`` argument, and a problem with a
+        scenario set arrives pre-bound (every entry point evaluates robustly)."""
         self.performance = performance
         self.availability = availability
         self.cost = cost
+        self.problem = problem if problem is not None else PlacementProblem.default()
+        if self.problem.preferences is not None:
+            preferences = self.problem.preferences
         self.preferences = preferences
         self.estimate = estimate
         self.estimator = estimator
@@ -142,6 +182,13 @@ class QualityEvaluator:
         #: location tuple in THIS order, so plans expressed under a permuted
         #: component order never collide.
         self._canonical: Tuple[str, ...] = tuple(self._columns(None))
+        #: The paper-triple layout: exactly (qperf, qavai, qcost) in columns 0-2.
+        #: Results then leave PlanQuality.values/names at their defaults (the
+        #: triple fields carry the whole vector), matching the pre-problem results
+        #: field-for-field and skipping two tuple builds per evaluated plan.
+        self._triple_layout = (
+            self.problem.objective_names == DEFAULT_OBJECTIVE_NAMES
+        )
         self.evaluations = 0
         #: Scenario evaluations: one per (distinct plan, scenario) pair scored by the
         #: robust path (``evaluations`` counts plans, matching the paper's budget).
@@ -154,12 +201,24 @@ class QualityEvaluator:
         # evaluate_vectors/is_feasible/feasible_mask) defaults to robust evaluation
         # over this scenario set — how the optimizers become scenario-robust for free.
         self._bound: Optional[Tuple[ScenarioSet, RobustAggregator]] = None
+        if self.problem.scenarios is not None:
+            self.bind_scenarios(self.problem.scenarios, self.problem.aggregator)
 
     def _key(self, plan: MigrationPlan) -> Tuple[int, ...]:
         """Cache key of one plan: its locations in the canonical component order."""
         if tuple(plan.components) == self._canonical:
             return tuple(plan.to_vector())
         return tuple(plan[c] for c in self._canonical)
+
+    # -- problem introspection -------------------------------------------------------------
+    @property
+    def n_objectives(self) -> int:
+        """K — the dimensionality of every result's objective vector."""
+        return self.problem.K
+
+    @property
+    def objective_names(self) -> Tuple[str, ...]:
+        return self.problem.objective_names
 
     # -- scenario binding ------------------------------------------------------------------
     def bind_scenarios(
@@ -217,6 +276,32 @@ class QualityEvaluator:
         if self._bound is not None:
             return self._robust_cache(*self._bound)
         return self._cache
+
+    # -- contexts --------------------------------------------------------------------------
+    def _matrix_context(
+        self,
+        matrix: np.ndarray,
+        components: Sequence[str],
+        plans: Optional[Sequence[MigrationPlan]] = None,
+    ) -> EvalContext:
+        """Classic (single-workload) context over the evaluator's base models."""
+        return EvalContext(
+            matrix=matrix,
+            components=list(components),
+            performance=self.performance,
+            availability=self.availability,
+            cost=self.cost,
+            estimate=self.estimate,
+            weights=self._weights,
+            preferences=self.preferences,
+            evaluator=self,
+            plans=plans,
+        )
+
+    def _plan_context(self, plan: MigrationPlan) -> EvalContext:
+        """Scalar-oracle context: a one-row matrix plus the plan itself."""
+        matrix = np.asarray([list(self._key(plan))], dtype=np.int64)
+        return self._matrix_context(matrix, list(self._canonical), plans=[plan])
 
     # -- evaluation ------------------------------------------------------------------------
     def evaluate(self, plan: MigrationPlan) -> PlanQuality:
@@ -304,8 +389,8 @@ class QualityEvaluator:
         distinct uncached rows, at the :class:`PlanQuality` API boundary.
 
         ``scenarios`` switches on robust evaluation: every distinct plan is scored
-        once per scenario (an S×P objective tensor built with shared dedup, shared
-        compiled replays and per-scenario compiled artifacts) and the tensor is
+        once per scenario (per-objective S×P tensors built with shared dedup, shared
+        compiled replays and per-scenario compiled artifacts) and the tensors are
         collapsed by ``aggregator`` into the scalar objectives; the per-scenario
         breakdown rides along on :attr:`PlanQuality.scenarios`.  With ``scenarios=None``
         and no bound set, this is byte-identical to the classic single-workload path.
@@ -340,6 +425,7 @@ class QualityEvaluator:
     def evaluate_many(self, plans: Sequence[MigrationPlan]) -> List[PlanQuality]:
         return self.evaluate_batch(plans)
 
+    # -- the K-objective execution engine --------------------------------------------------
     def _score_matrix(
         self,
         matrix: np.ndarray,
@@ -348,34 +434,89 @@ class QualityEvaluator:
     ) -> List[PlanQuality]:
         """Score distinct, uncached plans in a handful of vectorized passes.
 
-        The three objective vectors, the feasibility mask and the numbers behind the
+        One ``score_matrix`` call per objective, one ``check`` per constraint — the
+        K objective vectors, the feasibility mask and the numbers behind the
         violation strings are each computed once for the whole matrix; results are
         bitwise identical to the per-plan reference path.
         """
-        perf = self.performance.qperf_batch(matrix, components, self._weights)
-        avail = self.availability.qavai_batch(matrix, components, self._weights)
-        cost = self.cost.qcost_batch(matrix, components)
-        constraints = self._constraint_arrays(matrix, components, cost)
+        ctx = self._matrix_context(matrix, components)
+        scores = [
+            objective.minimized(
+                np.asarray(objective.score_matrix(ctx), dtype=np.float64)
+            )
+            for objective in self.problem.objectives
+        ]
+        checks = [constraint.check(ctx) for constraint in self.problem.constraints]
+        feasible = self._feasible_from_checks(checks, matrix.shape[0])
+        legacy_triple = self.problem.legacy_triple
+        # Lower the score columns and mask to Python scalars once: the per-row loop
+        # below runs for every distinct plan of a generation, so per-element
+        # ndarray indexing would dominate the small-K dispatch budget.
+        columns = [score.tolist() for score in scores]
+        feasible_rows = feasible.tolist()
         qualities: List[PlanQuality] = []
+        if self._triple_layout:
+            # The paper triple: perf/avail/cost ARE the whole vector, so the
+            # values/names fields stay at their defaults (objectives() falls back
+            # to the triple) — construction is exactly the pre-problem pipeline's.
+            perf_column, avail_column, cost_column = columns
+            for row, plan in enumerate(plans):
+                self.evaluations += 1
+                ok = feasible_rows[row]
+                violations: Tuple[str, ...] = ()
+                if not ok:
+                    violations = tuple(self._materialize_row(checks, row))
+                qualities.append(
+                    PlanQuality(
+                        plan=plan,
+                        perf=perf_column[row],
+                        avail=avail_column[row],
+                        cost=cost_column[row],
+                        feasible=ok,
+                        violations=violations,
+                    )
+                )
+            return qualities
+        names = self.problem.objective_names
         for row, plan in enumerate(plans):
             self.evaluations += 1
-            feasible = bool(constraints.feasible[row])
+            ok = feasible_rows[row]
             violations: Tuple[str, ...] = ()
-            if not feasible:
-                violations = tuple(
-                    self._materialize_violations(row, constraints, float(cost[row]))
-                )
+            if not ok:
+                violations = tuple(self._materialize_row(checks, row))
+            values = tuple(column[row] for column in columns)
+            perf, avail, cost = legacy_triple(values)
             qualities.append(
                 PlanQuality(
                     plan=plan,
-                    perf=float(perf[row]),
-                    avail=float(avail[row]),
-                    cost=float(cost[row]),
-                    feasible=feasible,
+                    perf=perf,
+                    avail=avail,
+                    cost=cost,
+                    feasible=ok,
                     violations=violations,
+                    values=values,
+                    names=names,
                 )
             )
         return qualities
+
+    @staticmethod
+    def _feasible_from_checks(
+        checks: Sequence[ConstraintCheck], n_plans: int
+    ) -> np.ndarray:
+        violated = np.zeros(n_plans, dtype=bool)
+        for check in checks:
+            violated |= check.violated
+        return ~violated
+
+    @staticmethod
+    def _materialize_row(checks: Sequence[ConstraintCheck], row: int) -> List[str]:
+        """Violation strings of one infeasible plan, in constraint-stack order."""
+        violations: List[str] = []
+        for check in checks:
+            if check.violated[row]:
+                violations.extend(check.materialize(row))
+        return violations
 
     # -- scenario compilation / robust scoring ----------------------------------------------
     def _scenario_context(self, spec: ScenarioSpec) -> _ScenarioContext:
@@ -423,6 +564,31 @@ class QualityEvaluator:
             self._scenario_contexts[key] = context
         return context
 
+    def _scenario_eval_context(
+        self,
+        context: _ScenarioContext,
+        matrix: np.ndarray,
+        components: Sequence[str],
+        shared: Dict,
+        views: Optional[List[ApiPerformanceModel]] = None,
+    ) -> EvalContext:
+        """Scenario-resolved evaluation context for one compiled scenario."""
+        return EvalContext(
+            matrix=matrix,
+            components=list(components),
+            performance=context.performance,
+            availability=self.availability,
+            cost=context.cost,
+            estimate=context.estimate,
+            weights=context.weights,
+            preferences=self.preferences,
+            evaluator=self,
+            scenario=context.spec,
+            base_performance=self.performance,
+            scenario_performances=views,
+            shared=shared,
+        )
+
     def _scenario_estimate(self, spec: ScenarioSpec) -> ResourceEstimate:
         """The scenario's expected resource-usage series (per-API rate compilation)."""
         if not spec.changes_rates:
@@ -453,64 +619,53 @@ class QualityEvaluator:
     ) -> List[PlanQuality]:
         """Score distinct plans over the whole scenario axis in S batched passes.
 
-        Builds the S×P objective tensor (one set of vectorized passes per compiled
-        scenario, all sharing the plan-level dedup and the performance model's
-        compiled trace sets / replay caches), collapses it with ``aggregator`` and
-        attaches the per-scenario breakdown.  A plan is feasible iff it is feasible
-        under every scenario; each infeasible scenario's violation strings are
-        materialized lazily and prefixed with the scenario name when S > 1.
+        Builds K per-objective ``(S, P)`` tensors (one set of vectorized passes per
+        compiled scenario, all sharing the plan-level dedup and — through the QPerf
+        plugin's impact cache on the call-wide ``shared`` dict — the performance
+        model's compiled trace sets / replay caches), collapses each with
+        ``aggregator`` and attaches the per-scenario breakdown.  A plan is feasible
+        iff it is feasible under every scenario; each infeasible scenario's violation
+        strings are materialized lazily and prefixed with the scenario name when
+        S > 1.
         """
         contexts = [self._scenario_context(spec) for spec in scenario_set]
+        objectives = self.problem.objectives
+        n_objectives = len(objectives)
         n_scenarios, n_plans = len(contexts), matrix.shape[0]
-        perf = np.empty((n_scenarios, n_plans), dtype=np.float64)
-        avail = np.empty((n_scenarios, n_plans), dtype=np.float64)
-        cost = np.empty((n_scenarios, n_plans), dtype=np.float64)
-        constraints: List[_ConstraintArrays] = []
-        # Impact factors depend on the performance view (footprint), not the trace
-        # weights: payload-neutral scenarios share one impact matrix outright, so the
-        # Δ-row gather/replay happens once per distinct view instead of once per
-        # scenario.
-        impact_cache: Dict[int, np.ndarray] = {}
-        # Seed the base model's impacts whenever (a) a payload-scaled view could
-        # copy unchanged rows from them and (b) some scenario uses the base view
-        # anyway — independent of the scenario order in the set.
-        views = {id(context.performance): context.performance for context in contexts}
-        if id(self.performance) in views and any(
-            view is not self.performance and view._changed_apis is not None
-            for view in views.values()
-        ):
-            impact_cache[id(self.performance)] = self.performance.impact_matrix(
-                matrix, components
-            )
+        scores = [
+            np.empty((n_scenarios, n_plans), dtype=np.float64)
+            for _ in range(n_objectives)
+        ]
+        checks_by_scenario: List[List[ConstraintCheck]] = []
+        # The call-wide shared dict: the QPerf plugin keeps its per-view impact
+        # matrices here, so payload-neutral scenarios share one Δ-row gather/replay
+        # per distinct performance view instead of one per scenario.
+        shared: Dict = {}
+        views = [context.performance for context in contexts]
         for index, context in enumerate(contexts):
-            view_key = id(context.performance)
-            impacts = impact_cache.get(view_key)
-            if impacts is None:
-                impacts = context.performance.impact_matrix(
-                    matrix,
-                    components,
-                    base_impacts=impact_cache.get(id(self.performance)),
-                )
-                impact_cache[view_key] = impacts
-            perf[index] = context.performance.qperf_from_impacts(
-                impacts, context.weights
+            ctx = self._scenario_eval_context(
+                context, matrix, components, shared, views
             )
-            avail[index] = self.availability.qavai_batch(
-                matrix, components, context.weights
-            )
-            cost[index] = context.cost.qcost_batch(matrix, components)
-            constraints.append(
-                self._constraint_arrays(
-                    matrix, components, cost[index], estimate=context.estimate
+            for k, objective in enumerate(objectives):
+                scores[k][index] = objective.minimized(
+                    np.asarray(objective.score_matrix(ctx), dtype=np.float64)
                 )
+            checks_by_scenario.append(
+                [constraint.check(ctx) for constraint in self.problem.constraints]
             )
         weights = scenario_set.weight_array()
-        agg_perf = aggregator.combine(perf, weights)
-        agg_avail = aggregator.combine(avail, weights)
-        agg_cost = aggregator.combine(cost, weights)
-        feasible_all = constraints[0].feasible.copy()
-        for arrays in constraints[1:]:
-            feasible_all &= arrays.feasible
+        aggregated = [
+            aggregator.combine(scores[k], weights) for k in range(n_objectives)
+        ]
+        feasible_by_scenario = [
+            self._feasible_from_checks(checks, n_plans)
+            for checks in checks_by_scenario
+        ]
+        feasible_all = feasible_by_scenario[0].copy()
+        for mask in feasible_by_scenario[1:]:
+            feasible_all &= mask
+        triple = self._triple_layout
+        names = None if triple else self.problem.objective_names
         qualities: List[PlanQuality] = []
         for row, plan in enumerate(plans):
             self.evaluations += 1
@@ -518,13 +673,11 @@ class QualityEvaluator:
             per_scenario: List[ScenarioQuality] = []
             violations: List[str] = []
             for index, context in enumerate(contexts):
-                ok = bool(constraints[index].feasible[row])
+                ok = bool(feasible_by_scenario[index][row])
                 scenario_violations: Tuple[str, ...] = ()
                 if not ok:
                     scenario_violations = tuple(
-                        self._materialize_violations(
-                            row, constraints[index], float(cost[index, row])
-                        )
+                        self._materialize_row(checks_by_scenario[index], row)
                     )
                     if n_scenarios == 1:
                         violations.extend(scenario_violations)
@@ -533,25 +686,35 @@ class QualityEvaluator:
                             f"[{context.spec.name}] {violation}"
                             for violation in scenario_violations
                         )
+                scenario_values = tuple(
+                    float(scores[k][index, row]) for k in range(n_objectives)
+                )
+                s_perf, s_avail, s_cost = self.problem.legacy_triple(scenario_values)
                 per_scenario.append(
                     ScenarioQuality(
                         scenario=context.spec.name,
-                        perf=float(perf[index, row]),
-                        avail=float(avail[index, row]),
-                        cost=float(cost[index, row]),
+                        perf=s_perf,
+                        avail=s_avail,
+                        cost=s_cost,
                         feasible=ok,
                         violations=scenario_violations,
+                        values=None if triple else scenario_values,
+                        names=names,
                     )
                 )
+            values = tuple(float(aggregated[k][row]) for k in range(n_objectives))
+            perf, avail, cost = self.problem.legacy_triple(values)
             qualities.append(
                 PlanQuality(
                     plan=plan,
-                    perf=float(agg_perf[row]),
-                    avail=float(agg_avail[row]),
-                    cost=float(agg_cost[row]),
+                    perf=perf,
+                    avail=avail,
+                    cost=cost,
                     feasible=bool(feasible_all[row]),
                     violations=tuple(violations),
                     scenarios=tuple(per_scenario),
+                    values=None if triple else values,
+                    names=names,
                 )
             )
         return qualities
@@ -617,17 +780,32 @@ class QualityEvaluator:
             self._scenario_contexts.clear()
 
     def _evaluate_uncached(self, plan: MigrationPlan) -> PlanQuality:
-        """Per-plan reference oracle; the batched pipeline must match it bitwise."""
+        """Per-plan reference oracle; the batched pipeline must match it bitwise.
+
+        Objectives score through their scalar kernels (``score_plan``), constraints
+        through ``violations_plan`` — the built-in plugins run the exact historical
+        per-plan code paths (memoized ``qcost``, per-projection QPerf/QAvai caches).
+        """
         self.evaluations += 1
-        cost = self.cost.qcost(plan)
-        violations = self._violations(plan, cost)
+        ctx = self._plan_context(plan)
+        values: List[float] = []
+        for objective in self.problem.objectives:
+            score = objective.score_plan(ctx, plan)
+            values.append(float(-score if objective.sense == "max" else score))
+        violations: List[str] = []
+        for constraint in self.problem.constraints:
+            violations.extend(constraint.violations_plan(ctx, plan))
+        values_tuple = tuple(values)
+        perf, avail, cost = self.problem.legacy_triple(values_tuple)
         return PlanQuality(
             plan=plan,
-            perf=self.performance.qperf(plan, self._weights),
-            avail=self.availability.qavai(plan, self._weights),
+            perf=perf,
+            avail=avail,
             cost=cost,
             feasible=not violations,
             violations=tuple(violations),
+            values=None if self._triple_layout else values_tuple,
+            names=None if self._triple_layout else self.problem.objective_names,
         )
 
     def is_feasible(self, plan: MigrationPlan) -> bool:
@@ -640,48 +818,11 @@ class QualityEvaluator:
 
     # -- constraints -----------------------------------------------------------------------
     def constraint_violations(self, plan: MigrationPlan) -> List[str]:
-        """Human-readable descriptions of every violated constraint of Eq. 4."""
-        cost = (
-            self.cost.qcost(plan)
-            if self.preferences.budget_usd != float("inf")
-            else None
-        )
-        return self._violations(plan, cost)
-
-    def _violations(self, plan: MigrationPlan, cost: Optional[float]) -> List[str]:
-        """Violation strings for one plan, with the (possibly precomputed) cost.
-
-        The plan's cost is scored exactly once per evaluation: callers that already
-        hold it pass it in; ``cost`` may be ``None`` only when no budget is set.
-        """
+        """Human-readable descriptions of every violated constraint of the problem."""
+        ctx = self._plan_context(plan)
         violations: List[str] = []
-        for component in self.preferences.pin_violations(plan):
-            violations.append(
-                f"component {component} must stay at location "
-                f"{self.preferences.pinned_placement[component]}"
-            )
-        for component in self.preferences.location_violations(plan):
-            violations.append(
-                f"component {component} may not run at location {plan[component]} "
-                f"(allowed locations: {list(self.preferences.allowed_locations[component])})"
-            )
-        onprem_components = plan.components_at(ON_PREM)
-        for resource, estimator_key in _ONPREM_RESOURCES.items():
-            limit = self.preferences.onprem_limit(resource)
-            if limit is None:
-                continue
-            peak = self.estimate.peak(estimator_key, onprem_components)
-            if peak > limit:
-                violations.append(
-                    f"on-prem {resource} peak {peak:.0f} exceeds limit {limit:.0f}"
-                )
-        if self.preferences.budget_usd != float("inf"):
-            if cost is None:
-                cost = self.cost.qcost(plan)
-            if cost > self.preferences.budget_usd:
-                violations.append(
-                    f"cost {cost:.2f} USD exceeds budget {self.preferences.budget_usd:.2f} USD"
-                )
+        for constraint in self.problem.constraints:
+            violations.extend(constraint.violations_plan(ctx, plan))
         return violations
 
     def feasible_mask(
@@ -703,114 +844,16 @@ class QualityEvaluator:
             mask: Optional[np.ndarray] = None
             for spec in scenario_set:
                 context = self._scenario_context(spec)
-                cost = (
-                    context.cost.qcost_batch(matrix, components)
-                    if self.preferences.budget_usd != float("inf")
-                    else None
-                )
-                feasible = self._constraint_arrays(
-                    matrix, components, cost, estimate=context.estimate
-                ).feasible
+                ctx = self._scenario_eval_context(context, matrix, components, {})
+                checks = [
+                    constraint.check(ctx) for constraint in self.problem.constraints
+                ]
+                feasible = self._feasible_from_checks(checks, matrix.shape[0])
                 mask = feasible if mask is None else (mask & feasible)
             return mask
-        cost = (
-            self.cost.qcost_batch(matrix, components)
-            if self.preferences.budget_usd != float("inf")
-            else None
-        )
-        return self._constraint_arrays(matrix, components, cost).feasible
-
-    def _constraint_arrays(
-        self,
-        matrix: np.ndarray,
-        components: Sequence[str],
-        cost: Optional[np.ndarray],
-        estimate: Optional[ResourceEstimate] = None,
-    ) -> _ConstraintArrays:
-        """All constraint masks of Eq. 4 for a plan matrix, in one pass each.
-
-        ``estimate`` selects which period of interest the on-prem peak constraint
-        reads (a scenario's compiled estimate under robust evaluation; the base
-        estimate otherwise).
-        """
-        estimate = estimate if estimate is not None else self.estimate
-        n_plans = matrix.shape[0]
-        column_of = {c: i for i, c in enumerate(components)}
-        infeasible = np.zeros(n_plans, dtype=bool)
-        pin_violated: List[Tuple[str, int, np.ndarray]] = []
-        for component, location in self.preferences.pinned_placement.items():
-            mask = matrix[:, column_of[component]] != location
-            pin_violated.append((component, location, mask))
-            infeasible |= mask
-        location_violated: List[Tuple[str, Tuple[int, ...], np.ndarray, np.ndarray]] = []
-        if self.preferences.allowed_locations:
-            size = int(matrix.max()) + 1 if matrix.size else 1
-            for component, allowed in self.preferences.allowed_locations.items():
-                column = column_of.get(component)
-                if column is None:
-                    continue
-                permitted = np.zeros(size, dtype=bool)
-                permitted[ON_PREM] = True
-                for location in allowed:
-                    if location < size:
-                        permitted[location] = True
-                placements = matrix[:, column]
-                mask = ~permitted[placements]
-                location_violated.append((component, allowed, mask, placements))
-                infeasible |= mask
-        on_prem = matrix == ON_PREM
-        peaks: Dict[str, Tuple[float, np.ndarray]] = {}
-        for resource, estimator_key in _ONPREM_RESOURCES.items():
-            limit = self.preferences.onprem_limit(resource)
-            if limit is None:
-                continue
-            peak = estimate.peak_matrix(estimator_key, on_prem, components)
-            peaks[resource] = (limit, peak)
-            infeasible |= peak > limit
-        over_budget: Optional[np.ndarray] = None
-        if self.preferences.budget_usd != float("inf"):
-            if cost is None:
-                cost = self.cost.qcost_batch(matrix, components)
-            over_budget = cost > self.preferences.budget_usd
-            infeasible |= over_budget
-        return _ConstraintArrays(
-            feasible=~infeasible,
-            pin_violated=pin_violated,
-            location_violated=location_violated,
-            peaks=peaks,
-            over_budget=over_budget,
-        )
-
-    def _materialize_violations(
-        self, row: int, constraints: _ConstraintArrays, cost: float
-    ) -> List[str]:
-        """Violation strings of one infeasible plan, from the batched constraint data.
-
-        Ordering and formatting match :meth:`_violations` exactly.
-        """
-        violations: List[str] = []
-        for component, location, mask in constraints.pin_violated:
-            if mask[row]:
-                violations.append(
-                    f"component {component} must stay at location {location}"
-                )
-        for component, allowed, mask, placements in constraints.location_violated:
-            if mask[row]:
-                violations.append(
-                    f"component {component} may not run at location {int(placements[row])} "
-                    f"(allowed locations: {list(allowed)})"
-                )
-        for resource, (limit, peak) in constraints.peaks.items():
-            if peak[row] > limit:
-                violations.append(
-                    f"on-prem {resource} peak {peak[row]:.0f} exceeds limit {limit:.0f}"
-                )
-        if constraints.over_budget is not None and constraints.over_budget[row]:
-            violations.append(
-                f"cost {cost:.2f} USD exceeds budget "
-                f"{self.preferences.budget_usd:.2f} USD"
-            )
-        return violations
+        ctx = self._matrix_context(matrix, components)
+        checks = [constraint.check(ctx) for constraint in self.problem.constraints]
+        return self._feasible_from_checks(checks, matrix.shape[0])
 
     def _lower(
         self,

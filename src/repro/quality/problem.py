@@ -1,0 +1,794 @@
+"""Declarative placement problems: the pluggable objective/constraint stack.
+
+The paper scores plans on exactly three hardcoded objectives — QPerf, QAvai, QCost —
+and that triple used to be baked into every layer of the advisor.  This module turns
+the objective/constraint surface into a plugin API:
+
+* :class:`Objective` — one quality aspect, scored *vectorized* over a ``(plans,
+  components)`` location matrix (``score_matrix``) with an optional scalar override
+  (``score_plan``, the per-plan reference oracle).  ``sense`` declares whether the raw
+  score is minimized or maximized; the evaluator stores the *minimized* view so every
+  optimizer keeps treating all objectives uniformly.
+* :class:`Constraint` — one feasibility condition, evaluated as a vectorized violation
+  mask (``check``) whose human-readable violation strings are materialized lazily,
+  only for infeasible plans.
+* :class:`PlacementProblem` — a frozen bundle of objectives + constraints + scenario
+  set + robust aggregator + owner preferences: the declarative front door of
+  ``Atlas.recommend(problem=...)``.  :meth:`PlacementProblem.default` is the paper's
+  exact three-objective stack; appending plugins (``with_objectives``) widens the
+  Pareto search to K dimensions with zero optimizer changes.
+
+The three paper objectives and all four constraint families (pins, allowed-location
+whitelists, on-prem peaks, budget) are themselves built-in plugins over the existing
+batched kernels (``qperf_batch`` / ``qavai_batch`` / ``qcost_batch``, the constraint
+mask passes), so the default problem is *byte-identical* to the hardcoded pipeline it
+replaced — fixed-seed GA / NSGA-II / random-search fingerprints are unchanged
+(enforced by ``tests/test_problem.py``).
+
+Two shipped plugins prove the API beyond the paper's triple:
+:class:`EgressTrafficObjective` (cross-location bytes from the learned network
+footprints) and :class:`MigrationChurnObjective` (components moved vs. a baseline
+plan).  See ``examples/custom_objective.py`` for an end-to-end K=4 recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from ..cluster.placement import MigrationPlan
+from ..cluster.topology import ON_PREM
+from .preferences import MigrationPreferences
+from .scenarios import RobustAggregator, ScenarioSet, ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (evaluator imports us)
+    from ..learning.estimator import ResourceEstimate
+    from .availability import ApiAvailabilityModel
+    from .cost import CloudCostModel
+    from .evaluator import QualityEvaluator
+    from .performance import ApiPerformanceModel
+
+__all__ = [
+    "EvalContext",
+    "Objective",
+    "Constraint",
+    "ConstraintCheck",
+    "PlacementProblem",
+    "QPerfObjective",
+    "QAvaiObjective",
+    "QCostObjective",
+    "EgressTrafficObjective",
+    "MigrationChurnObjective",
+    "PinnedPlacementConstraint",
+    "AllowedLocationsConstraint",
+    "OnPremPeakConstraint",
+    "BudgetConstraint",
+    "register_objective",
+    "register_constraint",
+    "make_objective",
+    "make_constraint",
+    "registered_objectives",
+    "registered_constraints",
+]
+
+#: Resources checked against the on-prem limits (metric name -> estimator resource key).
+ONPREM_RESOURCES = {
+    "cpu_millicores": "cpu_millicores",
+    "memory_mb": "memory_mb",
+    "storage_gb": "storage_gb",
+}
+
+_BYTES_PER_GB = 1e9
+
+
+@dataclass
+class EvalContext:
+    """Everything one objective/constraint evaluation sees.
+
+    ``matrix`` is the ``(plans, len(components))`` integer location matrix in the
+    evaluator's canonical component order.  The model fields are *scenario-resolved*:
+    under robust evaluation they are the compiled scenario's performance view, derived
+    cost model, scenario resource estimate and scenario τ_A weights; on the classic
+    path they are the evaluator's base models.
+
+    ``scratch`` is a per-(scenario, call) dict objectives and constraints use to hand
+    each other intermediate arrays (e.g. the QCost objective parks its cost vector for
+    the budget constraint, so each plan's cost is computed exactly once per
+    evaluation).  ``shared`` spans *all scenarios* of one evaluation call — the QPerf
+    plugin keeps its per-view impact-matrix cache there so payload-neutral scenarios
+    share one Δ-row gather/replay.
+
+    ``plans`` is set only on the scalar reference path: a one-row matrix plus the
+    corresponding :class:`MigrationPlan` (``plans[0]``) for plugins that override
+    ``score_plan`` / ``violations_plan`` with true per-plan kernels.
+    """
+
+    matrix: np.ndarray
+    components: List[str]
+    performance: "ApiPerformanceModel"
+    availability: "ApiAvailabilityModel"
+    cost: "CloudCostModel"
+    estimate: "ResourceEstimate"
+    weights: Dict[str, float]
+    preferences: MigrationPreferences
+    evaluator: "QualityEvaluator"
+    scenario: Optional[ScenarioSpec] = None
+    base_performance: Optional["ApiPerformanceModel"] = None
+    scenario_performances: Optional[List["ApiPerformanceModel"]] = None
+    shared: Dict = field(default_factory=dict)
+    scratch: Dict = field(default_factory=dict)
+    plans: Optional[Sequence[MigrationPlan]] = None
+
+    @property
+    def n_plans(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def column_of(self) -> Dict[str, int]:
+        columns = self.scratch.get("column_of")
+        if columns is None:
+            columns = {c: i for i, c in enumerate(self.components)}
+            self.scratch["column_of"] = columns
+        return columns
+
+
+class Objective:
+    """One quality aspect of a placement plan (lower is better when ``sense='min'``).
+
+    Subclasses implement :meth:`score_matrix` — the vectorized scoring over the shared
+    P×C location-matrix context — and may override :meth:`score_plan` with a scalar
+    kernel (the per-plan reference oracle; the default lowers the plan onto a one-row
+    matrix, so batched and scalar scoring agree bitwise by construction).
+    """
+
+    #: Stable identifier; also the objective's column name in results.
+    name: str = "objective"
+    #: ``"min"`` (default) or ``"max"`` — the evaluator stores ``-score`` for
+    #: maximized objectives so the optimizers minimize everything uniformly.
+    sense: str = "min"
+
+    def key(self) -> Tuple:
+        """Hashable identity (used by registries and result labeling)."""
+        return (self.name,)
+
+    def score_matrix(self, ctx: EvalContext) -> np.ndarray:
+        """Raw scores of every plan row: a ``(plans,)`` float array."""
+        raise NotImplementedError
+
+    def score_plan(self, ctx: EvalContext, plan: MigrationPlan) -> float:
+        """Raw score of one plan (scalar oracle); default delegates to the matrix."""
+        return float(self.score_matrix(ctx)[0])
+
+    def minimized(self, scores: np.ndarray) -> np.ndarray:
+        """The minimized view of raw scores (negated for maximized objectives)."""
+        if self.sense == "max":
+            return -scores
+        return scores
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if getattr(cls, "sense", "min") not in ("min", "max"):
+            raise ValueError(f"{cls.__name__}.sense must be 'min' or 'max'")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{type(self).__name__}(name={self.name!r}, sense={self.sense!r})"
+
+
+@dataclass
+class ConstraintCheck:
+    """Vectorized outcome of one constraint over a plan matrix.
+
+    ``violated`` is a boolean ``(plans,)`` mask (True = the plan breaks this
+    constraint); ``materialize(row)`` builds the human-readable violation strings of
+    one row lazily — the evaluator only calls it for infeasible plans.
+    """
+
+    violated: np.ndarray
+    materialize: Callable[[int], List[str]]
+
+    @classmethod
+    def satisfied(cls, n_plans: int) -> "ConstraintCheck":
+        """A no-op check: nothing violated, nothing to materialize."""
+        return cls(np.zeros(n_plans, dtype=bool), lambda row: [])
+
+
+class Constraint:
+    """One feasibility condition of the placement problem (Eq. 4 family).
+
+    Subclasses implement :meth:`check` (vectorized mask + lazy violation strings) and
+    may override :meth:`violations_plan` with a scalar kernel; the default lowers the
+    plan onto a one-row matrix so the mask and the materialized strings agree by
+    construction (the "mask ⇔ violations" law of ``tests/test_problem.py``).
+    """
+
+    name: str = "constraint"
+
+    def key(self) -> Tuple:
+        return (self.name,)
+
+    def check(self, ctx: EvalContext) -> ConstraintCheck:
+        raise NotImplementedError
+
+    def violations_plan(self, ctx: EvalContext, plan: MigrationPlan) -> List[str]:
+        result = self.check(ctx)
+        if bool(result.violated[0]):
+            return result.materialize(0)
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# Registries
+# ---------------------------------------------------------------------------
+
+_OBJECTIVES: Dict[str, Callable[..., Objective]] = {}
+_CONSTRAINTS: Dict[str, Callable[..., Constraint]] = {}
+
+
+def register_objective(name: str, factory: Optional[Callable[..., Objective]] = None):
+    """Register an objective factory under ``name`` (usable as a class decorator)."""
+
+    def _register(target):
+        if name in _OBJECTIVES:
+            raise ValueError(f"objective {name!r} is already registered")
+        _OBJECTIVES[name] = target
+        return target
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def register_constraint(name: str, factory: Optional[Callable[..., Constraint]] = None):
+    """Register a constraint factory under ``name`` (usable as a class decorator)."""
+
+    def _register(target):
+        if name in _CONSTRAINTS:
+            raise ValueError(f"constraint {name!r} is already registered")
+        _CONSTRAINTS[name] = target
+        return target
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def make_objective(name: str, **kwargs) -> Objective:
+    """Instantiate a registered objective by name."""
+    try:
+        factory = _OBJECTIVES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown objective {name!r}; registered: {sorted(_OBJECTIVES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def make_constraint(name: str, **kwargs) -> Constraint:
+    """Instantiate a registered constraint by name."""
+    try:
+        factory = _CONSTRAINTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown constraint {name!r}; registered: {sorted(_CONSTRAINTS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def registered_objectives() -> List[str]:
+    return sorted(_OBJECTIVES)
+
+
+def registered_constraints() -> List[str]:
+    return sorted(_CONSTRAINTS)
+
+
+# ---------------------------------------------------------------------------
+# Built-in objectives (the paper's triple)
+# ---------------------------------------------------------------------------
+
+
+@register_objective("qperf")
+class QPerfObjective(Objective):
+    """Expected API slowdown (Eq. 1): weighted mean impact factor over all APIs.
+
+    Batched scoring reuses the compiled-replay kernel (``qperf_batch``); under robust
+    evaluation the per-view impact matrices are cached in ``ctx.shared`` so
+    payload-neutral scenarios share one Δ-row gather/replay per distinct performance
+    view — exactly the sharing the hardcoded scenario pipeline performed.
+    """
+
+    name = "qperf"
+
+    def score_matrix(self, ctx: EvalContext) -> np.ndarray:
+        if ctx.scenario is None:
+            return ctx.performance.qperf_batch(ctx.matrix, ctx.components, ctx.weights)
+        impacts = self._impacts(ctx)
+        return ctx.performance.qperf_from_impacts(impacts, ctx.weights)
+
+    def _impacts(self, ctx: EvalContext) -> np.ndarray:
+        cache: Dict[int, np.ndarray] = ctx.shared.setdefault("qperf.impacts", {})
+        base = ctx.base_performance
+        if not cache and base is not None and ctx.scenario_performances is not None:
+            # Seed the base model's impacts whenever (a) a payload-scaled view could
+            # copy unchanged rows from them and (b) some scenario uses the base view
+            # anyway — independent of the scenario order in the set.
+            views = {id(view): view for view in ctx.scenario_performances}
+            if id(base) in views and any(
+                view is not base and view._changed_apis is not None
+                for view in views.values()
+            ):
+                cache[id(base)] = base.impact_matrix(ctx.matrix, ctx.components)
+        view_key = id(ctx.performance)
+        impacts = cache.get(view_key)
+        if impacts is None:
+            impacts = ctx.performance.impact_matrix(
+                ctx.matrix,
+                ctx.components,
+                base_impacts=cache.get(id(base)) if base is not None else None,
+            )
+            cache[view_key] = impacts
+        return impacts
+
+    def score_plan(self, ctx: EvalContext, plan: MigrationPlan) -> float:
+        return ctx.performance.qperf(plan, ctx.weights)
+
+
+@register_objective("qavai")
+class QAvaiObjective(Objective):
+    """Expected availability disruption (Eq. 3): weighted count of disrupted APIs."""
+
+    name = "qavai"
+
+    def score_matrix(self, ctx: EvalContext) -> np.ndarray:
+        return ctx.availability.qavai_batch(ctx.matrix, ctx.components, ctx.weights)
+
+    def score_plan(self, ctx: EvalContext, plan: MigrationPlan) -> float:
+        return ctx.availability.qavai(plan, ctx.weights)
+
+
+@register_objective("qcost")
+class QCostObjective(Objective):
+    """Cloud hosting cost in USD over the period of interest (Eq. 11).
+
+    Parks its result in ``ctx.scratch['qcost']`` so the budget constraint reuses it —
+    each plan's cost is computed exactly once per evaluation.
+    """
+
+    name = "qcost"
+
+    def score_matrix(self, ctx: EvalContext) -> np.ndarray:
+        cost = ctx.cost.qcost_batch(ctx.matrix, ctx.components)
+        ctx.scratch["qcost"] = cost
+        return cost
+
+    def score_plan(self, ctx: EvalContext, plan: MigrationPlan) -> float:
+        cost = ctx.cost.qcost(plan)
+        ctx.scratch["qcost"] = cost
+        return cost
+
+
+# ---------------------------------------------------------------------------
+# Shipped extra objectives (beyond the paper's triple)
+# ---------------------------------------------------------------------------
+
+
+@register_objective("egress-traffic")
+class EgressTrafficObjective(Objective):
+    """Cross-location traffic volume in GB over the period of interest.
+
+    The raw bytes of Eq. 10 *before* pricing: the learned per-API edge footprints
+    scaled by the expected request counts, summed over every invocation edge whose
+    caller and callee sit at different locations.  Unlike QCost's traffic term this
+    is price-free, so it stays meaningful for topologies where egress is unbilled
+    (e.g. on-prem ↔ edge links) and lets the owner trade raw data movement against
+    the three paper objectives.  Reuses the cost model's lowered edge arrays.
+    """
+
+    name = "egress_gb"
+
+    def score_matrix(self, ctx: EvalContext) -> np.ndarray:
+        lowering = ctx.cost._lowering(ctx.components)
+        if lowering.src_cols.size == 0 or ctx.n_plans == 0:
+            return np.zeros(ctx.n_plans, dtype=np.float64)
+        crossing = ctx.matrix[:, lowering.src_cols] != ctx.matrix[:, lowering.dst_cols]
+        return crossing @ (lowering.total_bytes / _BYTES_PER_GB)
+
+
+@register_objective("migration-churn")
+class MigrationChurnObjective(Objective):
+    """Number of components a plan moves away from a baseline placement.
+
+    ``baseline`` defaults to the evaluator's baseline plan (the currently executed
+    placement), so minimizing this objective prefers recommendations that disturb the
+    running system least — the re-migration cost axis of incremental rounds.
+    """
+
+    name = "migration_churn"
+
+    def __init__(self, baseline: Optional[MigrationPlan] = None) -> None:
+        self.baseline = baseline
+
+    def _baseline_row(self, ctx: EvalContext) -> np.ndarray:
+        baseline = self.baseline or ctx.cost.baseline_plan
+        return np.asarray([baseline[c] for c in ctx.components], dtype=np.int64)
+
+    def score_matrix(self, ctx: EvalContext) -> np.ndarray:
+        moved = ctx.matrix != self._baseline_row(ctx)
+        return moved.sum(axis=1).astype(np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Built-in constraints (Eq. 4)
+# ---------------------------------------------------------------------------
+
+
+@register_constraint("pinned-placement")
+class PinnedPlacementConstraint(Constraint):
+    """Owner-pinned components must stay at their pinned location."""
+
+    name = "pinned-placement"
+
+    def check(self, ctx: EvalContext) -> ConstraintCheck:
+        pins = ctx.preferences.pinned_placement
+        if not pins:
+            return ConstraintCheck.satisfied(ctx.n_plans)
+        column_of = ctx.column_of()
+        entries: List[Tuple[str, int, np.ndarray]] = []
+        violated = np.zeros(ctx.n_plans, dtype=bool)
+        for component, location in pins.items():
+            mask = ctx.matrix[:, column_of[component]] != location
+            entries.append((component, location, mask))
+            violated |= mask
+
+        def materialize(row: int) -> List[str]:
+            return [
+                f"component {component} must stay at location {location}"
+                for component, location, mask in entries
+                if mask[row]
+            ]
+
+        return ConstraintCheck(violated, materialize)
+
+    def violations_plan(self, ctx: EvalContext, plan: MigrationPlan) -> List[str]:
+        return [
+            f"component {component} must stay at location "
+            f"{ctx.preferences.pinned_placement[component]}"
+            for component in ctx.preferences.pin_violations(plan)
+        ]
+
+
+@register_constraint("allowed-locations")
+class AllowedLocationsConstraint(Constraint):
+    """Per-component location whitelists (on-prem is always permitted)."""
+
+    name = "allowed-locations"
+
+    def check(self, ctx: EvalContext) -> ConstraintCheck:
+        allowed_locations = ctx.preferences.allowed_locations
+        if not allowed_locations:
+            return ConstraintCheck.satisfied(ctx.n_plans)
+        column_of = ctx.column_of()
+        matrix = ctx.matrix
+        size = int(matrix.max()) + 1 if matrix.size else 1
+        entries: List[Tuple[str, Tuple[int, ...], np.ndarray, np.ndarray]] = []
+        violated = np.zeros(ctx.n_plans, dtype=bool)
+        for component, allowed in allowed_locations.items():
+            column = column_of.get(component)
+            if column is None:
+                continue
+            permitted = np.zeros(size, dtype=bool)
+            permitted[ON_PREM] = True
+            for location in allowed:
+                if location < size:
+                    permitted[location] = True
+            placements = matrix[:, column]
+            mask = ~permitted[placements]
+            entries.append((component, tuple(allowed), mask, placements))
+            violated |= mask
+
+        def materialize(row: int) -> List[str]:
+            return [
+                f"component {component} may not run at location "
+                f"{int(placements[row])} (allowed locations: {list(allowed)})"
+                for component, allowed, mask, placements in entries
+                if mask[row]
+            ]
+
+        return ConstraintCheck(violated, materialize)
+
+    def violations_plan(self, ctx: EvalContext, plan: MigrationPlan) -> List[str]:
+        return [
+            f"component {component} may not run at location {plan[component]} "
+            f"(allowed locations: {list(ctx.preferences.allowed_locations[component])})"
+            for component in ctx.preferences.location_violations(plan)
+        ]
+
+
+@register_constraint("onprem-peaks")
+class OnPremPeakConstraint(Constraint):
+    """The on-prem cluster's configured resource limits must cover the peak demand.
+
+    Reads the scenario-resolved resource estimate, so robust evaluation checks each
+    scenario's own demand series against the limits.
+    """
+
+    name = "onprem-peaks"
+
+    def check(self, ctx: EvalContext) -> ConstraintCheck:
+        limits = [
+            (resource, estimator_key, ctx.preferences.onprem_limit(resource))
+            for resource, estimator_key in ONPREM_RESOURCES.items()
+        ]
+        limits = [(r, k, limit) for r, k, limit in limits if limit is not None]
+        if not limits:
+            return ConstraintCheck.satisfied(ctx.n_plans)
+        on_prem = ctx.matrix == ON_PREM
+        entries: List[Tuple[str, float, np.ndarray]] = []
+        violated = np.zeros(ctx.n_plans, dtype=bool)
+        for resource, estimator_key, limit in limits:
+            peak = ctx.estimate.peak_matrix(estimator_key, on_prem, ctx.components)
+            entries.append((resource, limit, peak))
+            violated |= peak > limit
+
+        def materialize(row: int) -> List[str]:
+            return [
+                f"on-prem {resource} peak {peak[row]:.0f} exceeds limit {limit:.0f}"
+                for resource, limit, peak in entries
+                if peak[row] > limit
+            ]
+
+        return ConstraintCheck(violated, materialize)
+
+    def violations_plan(self, ctx: EvalContext, plan: MigrationPlan) -> List[str]:
+        violations: List[str] = []
+        onprem_components = plan.components_at(ON_PREM)
+        for resource, estimator_key in ONPREM_RESOURCES.items():
+            limit = ctx.preferences.onprem_limit(resource)
+            if limit is None:
+                continue
+            peak = ctx.estimate.peak(estimator_key, onprem_components)
+            if peak > limit:
+                violations.append(
+                    f"on-prem {resource} peak {peak:.0f} exceeds limit {limit:.0f}"
+                )
+        return violations
+
+
+@register_constraint("budget")
+class BudgetConstraint(Constraint):
+    """The plan's cloud cost must not exceed the owner's budget.
+
+    Reads the cost vector the QCost objective parked in ``ctx.scratch`` when the
+    problem scores costs anyway; on constraint-only passes (``feasible_mask``) it
+    drives the batched cost kernel itself — whose row memo keeps a later full
+    evaluation of the same plans from paying the cost passes again.
+    """
+
+    name = "budget"
+
+    def check(self, ctx: EvalContext) -> ConstraintCheck:
+        budget = ctx.preferences.budget_usd
+        if budget == float("inf"):
+            return ConstraintCheck.satisfied(ctx.n_plans)
+        cost = ctx.scratch.get("qcost")
+        if cost is None:
+            cost = ctx.cost.qcost_batch(ctx.matrix, ctx.components)
+            ctx.scratch["qcost"] = cost
+        over = cost > budget
+
+        def materialize(row: int) -> List[str]:
+            if not over[row]:
+                return []
+            return [
+                f"cost {float(cost[row]):.2f} USD exceeds budget {budget:.2f} USD"
+            ]
+
+        return ConstraintCheck(over, materialize)
+
+    def violations_plan(self, ctx: EvalContext, plan: MigrationPlan) -> List[str]:
+        budget = ctx.preferences.budget_usd
+        if budget == float("inf"):
+            return []
+        cost = ctx.scratch.get("qcost")
+        if cost is None:
+            cost = ctx.cost.qcost(plan)
+            ctx.scratch["qcost"] = cost
+        if cost > budget:
+            return [f"cost {cost:.2f} USD exceeds budget {budget:.2f} USD"]
+        return []
+
+
+# ---------------------------------------------------------------------------
+# The declarative problem
+# ---------------------------------------------------------------------------
+
+#: Column names of the paper's triple, in canonical order.
+DEFAULT_OBJECTIVE_NAMES = ("qperf", "qavai", "qcost")
+
+
+@dataclass(frozen=True)
+class PlacementProblem:
+    """A frozen placement problem: what to optimize, subject to what, over which futures.
+
+    ``objectives`` define the K axes of the Pareto search (order fixes the result
+    columns), ``constraints`` the feasibility conditions, ``scenarios`` +
+    ``aggregator`` the optional robust axis (the evaluator binds them at
+    construction), and ``preferences`` the owner preferences the built-in constraint
+    plugins read (``None`` adopts the evaluator's).  Problems are immutable; derive
+    variants with :meth:`with_objectives` / :meth:`with_constraints` /
+    :meth:`with_scenarios`.
+    """
+
+    objectives: Tuple[Objective, ...]
+    constraints: Tuple[Constraint, ...]
+    scenarios: Optional[ScenarioSet] = None
+    aggregator: Optional[RobustAggregator] = None
+    preferences: Optional[MigrationPreferences] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "objectives", tuple(self.objectives))
+        object.__setattr__(self, "constraints", tuple(self.constraints))
+        if not self.objectives:
+            raise ValueError("a placement problem needs at least one objective")
+        names = [objective.name for objective in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"objective names must be unique, got {names}")
+        if self.aggregator is not None and self.scenarios is None:
+            raise ValueError(
+                "aggregator only applies to scenario-robust problems; "
+                "set scenarios as well"
+            )
+        if self.scenarios is not None:
+            object.__setattr__(self, "scenarios", ScenarioSet.coerce(self.scenarios))
+        # Column indices behind the legacy (perf, avail, cost) triple, resolved once:
+        # by name when the paper objectives are present, positionally otherwise
+        # (None = no column, the triple field reads NaN).  legacy_triple() runs once
+        # per evaluated plan, so this lookup must not re-scan names on the hot path.
+        legacy_indices = []
+        for name, fallback in (("qperf", 0), ("qavai", 1), ("qcost", 2)):
+            if name in names:
+                legacy_indices.append(names.index(name))
+            else:
+                legacy_indices.append(fallback if fallback < len(names) else None)
+        object.__setattr__(self, "_legacy_indices", tuple(legacy_indices))
+
+    # -- introspection ---------------------------------------------------------------------
+    @property
+    def K(self) -> int:
+        """Number of objectives (the dimensionality of the Pareto front)."""
+        return len(self.objectives)
+
+    @property
+    def objective_names(self) -> Tuple[str, ...]:
+        return tuple(objective.name for objective in self.objectives)
+
+    def index_of(self, name: str) -> int:
+        for index, objective in enumerate(self.objectives):
+            if objective.name == name:
+                return index
+        raise KeyError(f"no objective named {name!r} in {self.objective_names}")
+
+    @property
+    def is_default_stack(self) -> bool:
+        """Whether this is exactly the paper's three-objective built-in stack."""
+        return (
+            self.objective_names == DEFAULT_OBJECTIVE_NAMES
+            and all(
+                isinstance(objective, expected)
+                for objective, expected in zip(
+                    self.objectives,
+                    (QPerfObjective, QAvaiObjective, QCostObjective),
+                )
+            )
+            and tuple(type(c) for c in self.constraints) == _DEFAULT_CONSTRAINT_TYPES
+        )
+
+    def legacy_triple(self, values: Sequence[float]) -> Tuple[float, float, float]:
+        """(perf, avail, cost) view of a K-vector for the legacy result fields.
+
+        Maps by objective name when the paper objectives are present, falling back
+        positionally (NaN-padded) for problems that replace them outright.
+        """
+        i_perf, i_avail, i_cost = self._legacy_indices
+        nan = float("nan")
+        return (
+            values[i_perf] if i_perf is not None else nan,
+            values[i_avail] if i_avail is not None else nan,
+            values[i_cost] if i_cost is not None else nan,
+        )
+
+    # -- construction ----------------------------------------------------------------------
+    @classmethod
+    def default(
+        cls,
+        preferences: Optional[MigrationPreferences] = None,
+        scenarios: Optional[
+            Union[ScenarioSet, ScenarioSpec, Sequence[ScenarioSpec]]
+        ] = None,
+        aggregator: Optional[RobustAggregator] = None,
+        extra_objectives: Sequence[Objective] = (),
+        extra_constraints: Sequence[Constraint] = (),
+    ) -> "PlacementProblem":
+        """The paper's exact stack: QPerf + QAvai + QCost under the Eq. 4 constraints.
+
+        ``extra_objectives`` / ``extra_constraints`` append plugins after the
+        built-ins, so the default triple keeps its canonical columns 0-2.
+        """
+        return cls(
+            objectives=(
+                QPerfObjective(),
+                QAvaiObjective(),
+                QCostObjective(),
+                *extra_objectives,
+            ),
+            constraints=(
+                PinnedPlacementConstraint(),
+                AllowedLocationsConstraint(),
+                OnPremPeakConstraint(),
+                BudgetConstraint(),
+                *extra_constraints,
+            ),
+            scenarios=ScenarioSet.coerce(scenarios) if scenarios is not None else None,
+            aggregator=aggregator,
+            preferences=preferences,
+        )
+
+    def with_objectives(self, *objectives: Objective) -> "PlacementProblem":
+        """A sibling problem with ``objectives`` appended."""
+        return PlacementProblem(
+            objectives=self.objectives + tuple(objectives),
+            constraints=self.constraints,
+            scenarios=self.scenarios,
+            aggregator=self.aggregator,
+            preferences=self.preferences,
+        )
+
+    def with_constraints(self, *constraints: Constraint) -> "PlacementProblem":
+        """A sibling problem with ``constraints`` appended."""
+        return PlacementProblem(
+            objectives=self.objectives,
+            constraints=self.constraints + tuple(constraints),
+            scenarios=self.scenarios,
+            aggregator=self.aggregator,
+            preferences=self.preferences,
+        )
+
+    def with_scenarios(
+        self,
+        scenarios: Union[ScenarioSet, ScenarioSpec, Sequence[ScenarioSpec]],
+        aggregator: Optional[RobustAggregator] = None,
+    ) -> "PlacementProblem":
+        """A sibling problem evaluated robustly over ``scenarios``.
+
+        Omitting ``aggregator`` keeps the problem's existing one (the evaluator
+        applies the :class:`~repro.quality.scenarios.WorstCase` default when the
+        problem never had one)."""
+        return PlacementProblem(
+            objectives=self.objectives,
+            constraints=self.constraints,
+            scenarios=ScenarioSet.coerce(scenarios),
+            aggregator=aggregator if aggregator is not None else self.aggregator,
+            preferences=self.preferences,
+        )
+
+
+_DEFAULT_CONSTRAINT_TYPES = (
+    PinnedPlacementConstraint,
+    AllowedLocationsConstraint,
+    OnPremPeakConstraint,
+    BudgetConstraint,
+)

@@ -299,7 +299,13 @@ class ScenarioSet:
 
 @dataclass(frozen=True)
 class ScenarioQuality:
-    """Quality of one plan under one scenario (one S-slice of the objective tensor)."""
+    """Quality of one plan under one scenario (one S-slice of the objective tensor).
+
+    ``values`` holds the K minimized objective values in the problem's column order
+    (``names`` their labels); the legacy ``perf`` / ``avail`` / ``cost`` fields are
+    the paper-triple view of that vector.  Results built the historical way — just
+    the triple — behave identically through :meth:`objectives`.
+    """
 
     scenario: str
     perf: float
@@ -307,9 +313,21 @@ class ScenarioQuality:
     cost: float
     feasible: bool
     violations: Tuple[str, ...] = ()
+    values: Optional[Tuple[float, ...]] = None
+    names: Optional[Tuple[str, ...]] = None
 
-    def objectives(self) -> Tuple[float, float, float]:
+    def objectives(self) -> Tuple[float, ...]:
+        if self.values is not None:
+            return self.values
         return (self.perf, self.avail, self.cost)
+
+    def value(self, name: str) -> float:
+        """One objective value by name (e.g. ``entry.value("egress_gb")``)."""
+        names = self.names if self.names is not None else ("qperf", "qavai", "qcost")
+        try:
+            return self.objectives()[names.index(name)]
+        except ValueError:
+            raise KeyError(f"no objective named {name!r} in {names}") from None
 
 
 # ---------------------------------------------------------------------------

@@ -9,6 +9,11 @@
 >>> detector = atlas.drift_detector(recommendation, plan, measured_latencies)
 >>> detector.drifted_apis(recent_latencies)              # stage 3: monitoring
 
+``recommend(problem=...)`` is the declarative front door: a
+:class:`~repro.quality.problem.PlacementProblem` declares the K objectives, the
+constraints and an optional scenario axis, and the search follows it — e.g. the
+paper's triple plus an egress objective yields a 4-D Pareto front, knee point first.
+
 Everything Atlas consumes comes from the :class:`~repro.telemetry.server.TelemetryServer`
 (traces, component metrics, mesh counters) plus the owner's
 :class:`~repro.quality.preferences.MigrationPreferences`.
@@ -16,6 +21,7 @@ Everything Atlas consumes comes from the :class:`~repro.telemetry.server.Telemet
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -36,11 +42,33 @@ from ..quality.cost import CloudCostModel, PricingCatalog
 from ..quality.evaluator import PlanQuality, QualityEvaluator
 from ..quality.performance import ApiPerformanceModel, PerformanceEstimate
 from ..quality.preferences import MigrationPreferences
+from ..quality.problem import PlacementProblem
 from ..quality.scenarios import RobustAggregator, ScenarioSet, ScenarioSpec, WorstCase
 from ..telemetry.server import TelemetryServer
 from .hierarchy import PlanHierarchy
 
 __all__ = ["AtlasConfig", "ApplicationKnowledge", "Recommendation", "Atlas"]
+
+#: One-shot flag of the legacy-kwarg deprecation shim (warn once per process).
+_LEGACY_KWARGS_WARNED = False
+
+
+def _warn_legacy_kwargs(kwargs: str) -> None:
+    """Deprecation shim: legacy problem-level kwargs compile into a default problem.
+
+    Warns exactly once per process; see README "Migrating to PlacementProblem".
+    """
+    global _LEGACY_KWARGS_WARNED
+    if _LEGACY_KWARGS_WARNED:
+        return
+    _LEGACY_KWARGS_WARNED = True
+    warnings.warn(
+        f"Atlas.recommend({kwargs}=...) is deprecated: pass "
+        "problem=PlacementProblem.default(...) instead (the declarative front "
+        "door; legacy kwargs are compiled into a default problem for now)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -84,8 +112,14 @@ class ApplicationKnowledge:
 class Recommendation:
     """Output of one recommendation round.
 
-    Scenario-robust rounds (``Atlas.recommend(scenarios=...)``) additionally carry
-    the scenario set and aggregator the search ran under; every recommended plan's
+    ``plans`` returns the K-dimensional Pareto front ordered by distance-to-ideal on
+    the normalized front — the knee point (the balanced compromise) first.  ``problem``
+    is the :class:`~repro.quality.problem.PlacementProblem` the search optimized (the
+    default paper triple unless ``Atlas.recommend(problem=...)`` declared otherwise).
+
+    Scenario-robust rounds (a problem with scenarios, or legacy
+    ``Atlas.recommend(scenarios=...)``) additionally carry the scenario set and
+    aggregator the search ran under; every recommended plan's
     :attr:`~repro.quality.evaluator.PlanQuality.scenarios` holds its per-scenario
     objective breakdown, and :meth:`scenario_regret` / :meth:`scenario_report`
     quantify how far each plan sits from the per-scenario optimum.
@@ -97,10 +131,12 @@ class Recommendation:
     preferences: MigrationPreferences
     scenario_set: Optional[ScenarioSet] = None
     aggregator: Optional[RobustAggregator] = None
+    problem: Optional[PlacementProblem] = None
 
     @property
     def plans(self) -> List[PlanQuality]:
-        return list(self.result.pareto)
+        """The Pareto front, knee point first (distance-to-ideal ordering)."""
+        return self.result.knee_ordered()
 
     def performance_optimized(self) -> PlanQuality:
         return self.result.performance_optimized()
@@ -111,6 +147,14 @@ class Recommendation:
     def cost_optimized(self) -> PlanQuality:
         return self.result.cost_optimized()
 
+    def knee_point(self) -> PlanQuality:
+        """The front's balanced compromise (closest to ideal on the normalized front)."""
+        return self.result.knee_point()
+
+    def best_for(self, objective: str) -> PlanQuality:
+        """The front's best plan along one named objective (e.g. ``"egress_gb"``)."""
+        return self.result.best_for(objective)
+
     def hierarchy(self) -> PlanHierarchy:
         """Dendrogram view of the recommended plans (Figure 8)."""
         return PlanHierarchy(self.plans)
@@ -120,17 +164,19 @@ class Recommendation:
         return self.evaluator.performance.estimate_all(plan)
 
     # -- scenario axis ---------------------------------------------------------------------
-    def scenario_optima(self) -> Dict[str, Tuple[float, float, float]]:
-        """Per-scenario best (perf, avail, cost) over every plan the search visited.
+    def scenario_optima(self) -> Dict[str, Tuple[float, ...]]:
+        """Per-scenario best K-vector over every plan the search visited.
 
-        The per-scenario optimum is taken over all evaluated plans that are feasible
-        *in that scenario* (falling back to all evaluated plans when none is) — the
-        reference point the regret of a robust recommendation is measured against.
+        Entry ``k`` is the best (minimum) value of objective ``k`` — the paper's
+        (perf, avail, cost) triple under the default problem.  The per-scenario
+        optimum is taken over all evaluated plans that are feasible *in that
+        scenario* (falling back to all evaluated plans when none is) — the reference
+        point the regret of a robust recommendation is measured against.
         """
         if self.scenario_set is None:
             raise ValueError("this recommendation was not scenario-robust")
         evaluated = self.evaluator.evaluated_qualities()
-        optima: Dict[str, Tuple[float, float, float]] = {}
+        optima: Dict[str, Tuple[float, ...]] = {}
         for spec in self.scenario_set:
             entries = [
                 scenario
@@ -141,59 +187,68 @@ class Recommendation:
             pool = [entry for entry in entries if entry.feasible] or entries
             if not pool:
                 raise ValueError("no plans were evaluated under the scenario axis")
-            optima[spec.name] = (
-                min(entry.perf for entry in pool),
-                min(entry.avail for entry in pool),
-                min(entry.cost for entry in pool),
+            vectors = [entry.objectives() for entry in pool]
+            optima[spec.name] = tuple(
+                min(vector[k] for vector in vectors)
+                for k in range(len(vectors[0]))
             )
         return optima
 
     @staticmethod
     def _regret_against(
-        quality: PlanQuality, optima: Dict[str, Tuple[float, float, float]]
-    ) -> Dict[str, Tuple[float, float, float]]:
-        regret: Dict[str, Tuple[float, float, float]] = {}
+        quality: PlanQuality, optima: Dict[str, Tuple[float, ...]]
+    ) -> Dict[str, Tuple[float, ...]]:
+        regret: Dict[str, Tuple[float, ...]] = {}
         for scenario in quality.scenarios:
             best = optima[scenario.scenario]
-            regret[scenario.scenario] = (
-                scenario.perf - best[0],
-                scenario.avail - best[1],
-                scenario.cost - best[2],
+            regret[scenario.scenario] = tuple(
+                value - best_value
+                for value, best_value in zip(scenario.objectives(), best)
             )
         return regret
 
-    def scenario_regret(
-        self, quality: PlanQuality
-    ) -> Dict[str, Tuple[float, float, float]]:
-        """Per-scenario (perf, avail, cost) regret of one recommended plan.
+    def scenario_regret(self, quality: PlanQuality) -> Dict[str, Tuple[float, ...]]:
+        """Per-scenario K-vector regret of one recommended plan.
 
         Regret is the plan's scenario objective minus the best value any visited
         plan achieves under that scenario — zero means the plan is per-scenario
         optimal along that objective, a large value is the price of robustness.
+        Entries follow the problem's objective order ((perf, avail, cost) by
+        default).
         """
         return self._regret_against(quality, self.scenario_optima())
 
     def scenario_report(self) -> List[Dict[str, object]]:
-        """Per-(recommended plan, scenario) breakdown rows: objectives + regret."""
+        """Per-(recommended plan, scenario) breakdown rows: objectives + regret.
+
+        The legacy ``perf``/``avail``/``cost`` (and ``regret_*``) columns stay for
+        the paper triple; every objective additionally reports under its own name
+        (``<name>`` / ``regret_<name>``), so K > 3 problems get one column pair per
+        extra objective.
+        """
         rows: List[Dict[str, object]] = []
         optima = self.scenario_optima()
+        legacy = {"qperf": "perf", "qavai": "avail", "qcost": "cost"}
         for index, quality in enumerate(self.plans):
             regret = self._regret_against(quality, optima)
             for scenario in quality.scenarios:
-                regret_perf, regret_avail, regret_cost = regret[scenario.scenario]
-                rows.append(
-                    {
-                        "plan": index,
-                        "scenario": scenario.scenario,
-                        "perf": scenario.perf,
-                        "avail": scenario.avail,
-                        "cost": scenario.cost,
-                        "feasible": scenario.feasible,
-                        "regret_perf": regret_perf,
-                        "regret_avail": regret_avail,
-                        "regret_cost": regret_cost,
-                    }
-                )
+                row: Dict[str, object] = {
+                    "plan": index,
+                    "scenario": scenario.scenario,
+                    "perf": scenario.perf,
+                    "avail": scenario.avail,
+                    "cost": scenario.cost,
+                    "feasible": scenario.feasible,
+                }
+                names = scenario.names or ("qperf", "qavai", "qcost")
+                for name, value, regret_value in zip(
+                    names, scenario.objectives(), regret[scenario.scenario]
+                ):
+                    label = legacy.get(name, name)
+                    if label not in row:
+                        row[label] = value
+                    row[f"regret_{label}"] = regret_value
+                rows.append(row)
         return rows
 
 
@@ -270,6 +325,7 @@ class Atlas:
         api_rates: Optional[Mapping[str, Sequence[float]]] = None,
         preferences: Optional[MigrationPreferences] = None,
         performance_engine: str = "compiled",
+        problem: Optional[PlacementProblem] = None,
     ) -> QualityEvaluator:
         """Build the quality evaluator for a period of interest.
 
@@ -279,9 +335,19 @@ class Atlas:
         ``"compiled"`` replay (default) or the recursive ``"reference"`` oracle — both
         produce identical numbers (the benchmarks use the oracle as the per-plan
         comparison point).
+
+        ``problem`` declares the objective/constraint stack the evaluator executes
+        (default: the paper's three objectives under the Eq. 4 constraints — the
+        legacy signature is a shim that compiles into exactly that default
+        :class:`~repro.quality.problem.PlacementProblem`).  A problem with its own
+        preferences overrides ``preferences``; a problem with a scenario set returns
+        the evaluator pre-bound to it.
         """
         knowledge = self._require_knowledge()
-        preferences = preferences or self.preferences
+        if problem is not None and problem.preferences is not None:
+            preferences = problem.preferences
+        else:
+            preferences = preferences or self.preferences
         estimator = knowledge.estimator
         estimate = (
             estimator.predict(api_rates)
@@ -324,6 +390,7 @@ class Atlas:
             estimate=estimate,
             component_order=self.application.component_names,
             estimator=estimator,
+            problem=problem,
         )
 
     # -- stage 2: recommendation --------------------------------------------------------------
@@ -337,30 +404,59 @@ class Atlas:
             Union[ScenarioSet, ScenarioSpec, Sequence[ScenarioSpec]]
         ] = None,
         aggregator: Optional[RobustAggregator] = None,
+        problem: Optional[PlacementProblem] = None,
     ) -> Recommendation:
         """Run the DRL-based genetic search and return the Pareto-optimal plans.
 
-        ``scenarios`` switches on scenario-robust recommendation: each spec describes
-        a workload scenario *relative to* the period of interest (``expected_scale``
-        / ``api_rates``), the search scores every plan over the whole set, and
-        ``aggregator`` (default worst-case) collapses the scenario axis.  The
-        returned plans carry per-scenario objective breakdowns, and the
-        recommendation reports regret against the per-scenario optima.
+        ``problem`` is the declarative front door: a
+        :class:`~repro.quality.problem.PlacementProblem` bundling the K objectives,
+        the constraints, an optional scenario set + robust aggregator and
+        (optionally) the owner preferences — the search widens to K dimensions with
+        zero further arguments.  ``expected_scale`` / ``api_rates`` stay first-class:
+        they describe the period of interest the quality models are compiled for,
+        not the problem.
+
+        The legacy ``scenarios`` / ``aggregator`` kwargs are a deprecation shim
+        (warns once): they compile into ``PlacementProblem.default(...)`` with the
+        same scenario axis, byte-identical to the historical behavior.  Robust
+        recommendations carry per-scenario objective breakdowns and report regret
+        against the per-scenario optima.
         """
-        if aggregator is not None and scenarios is None:
-            raise ValueError(
-                "aggregator only applies to scenario-robust recommendation; "
-                "pass scenarios=... as well"
+        if problem is not None:
+            if scenarios is not None or aggregator is not None:
+                raise ValueError(
+                    "pass scenarios/aggregator on the problem "
+                    "(PlacementProblem.with_scenarios) when using problem=..."
+                )
+            if preferences is not None and problem.preferences is not None:
+                raise ValueError(
+                    "preferences were given both directly and on the problem"
+                )
+        else:
+            if aggregator is not None and scenarios is None:
+                raise ValueError(
+                    "aggregator only applies to scenario-robust recommendation; "
+                    "pass scenarios=... as well"
+                )
+            if scenarios is not None:
+                _warn_legacy_kwargs("scenarios" if aggregator is None else "scenarios/aggregator")
+            problem = PlacementProblem.default(
+                scenarios=scenarios,
+                aggregator=(aggregator or WorstCase()) if scenarios is not None else None,
             )
-        preferences = preferences or self.preferences
-        evaluator = self.build_evaluator(
-            expected_scale=expected_scale, api_rates=api_rates, preferences=preferences
+        preferences = (
+            problem.preferences
+            if problem.preferences is not None
+            else (preferences or self.preferences)
         )
-        scenario_set: Optional[ScenarioSet] = None
-        if scenarios is not None:
-            scenario_set = ScenarioSet.coerce(scenarios)
-            aggregator = aggregator or WorstCase()
-            evaluator.bind_scenarios(scenario_set, aggregator)
+        evaluator = self.build_evaluator(
+            expected_scale=expected_scale,
+            api_rates=api_rates,
+            preferences=preferences,
+            problem=problem,
+        )
+        scenario_set = problem.scenarios
+        bound_aggregator = evaluator.bound_aggregator
         config = ga_config or self.config.ga
         ga = AtlasGA(
             evaluator,
@@ -376,7 +472,8 @@ class Atlas:
             estimate=evaluator.estimate,
             preferences=preferences,
             scenario_set=scenario_set,
-            aggregator=aggregator if scenario_set is not None else None,
+            aggregator=bound_aggregator if scenario_set is not None else None,
+            problem=problem,
         )
 
     def _seed_vectors(self, evaluator: QualityEvaluator, config: GAConfig):

@@ -1,6 +1,6 @@
 """Hierarchical post-processing of recommended plans (Section 4.2.2, Figure 8).
 
-A Pareto front with three objectives is hard to pick from.  Atlas organizes the
+A Pareto front with three (or K) objectives is hard to pick from.  Atlas organizes the
 recommended plans with agglomerative hierarchical clustering over their (normalized)
 objective vectors and presents them as a dendrogram: the owner first chooses among a
 few high-level clusters (performance-focused, cost-focused, balanced, ...), then refines
@@ -19,7 +19,8 @@ from ..quality.evaluator import PlanQuality
 
 __all__ = ["PlanCluster", "PlanHierarchy"]
 
-_OBJECTIVE_NAMES = ("performance", "availability", "cost")
+#: Human-friendly labels of the paper triple; other objectives label by their name.
+_OBJECTIVE_LABELS = {"qperf": "performance", "qavai": "availability", "qcost": "cost"}
 
 
 @dataclass
@@ -46,6 +47,8 @@ class PlanHierarchy:
         if not plans:
             raise ValueError("cannot build a hierarchy from an empty plan set")
         self.plans = list(plans)
+        names = self.plans[0].objective_names()
+        self._names = tuple(_OBJECTIVE_LABELS.get(name, name) for name in names)
         self._objectives = np.array([p.objectives() for p in self.plans], dtype=float)
         self._normalized = self._normalize(self._objectives)
         if len(self.plans) > 1:
@@ -102,7 +105,7 @@ class PlanHierarchy:
         """Label a cluster by the objective on which it excels relative to the whole front."""
         cluster_mean = self._normalized[list(indices)].mean(axis=0)
         best = int(np.argmin(cluster_mean))
-        return f"{_OBJECTIVE_NAMES[best]}-focused"
+        return f"{self._names[best]}-focused"
 
     # -- presentation ----------------------------------------------------------------------------
     def to_text(self, top_level: int = 3, second_level: int = 2) -> str:
