@@ -1,0 +1,134 @@
+"""Adversarial worst-case certification — smoke + regression bars.
+
+Certifies one concrete migration plan of the social-network testbed with the
+:class:`~repro.quality.adversary.ScenarioAdversary` and checks the properties CI
+cares about:
+
+* **budget discipline** — the adversary spends at most its declared evaluation
+  budget (the stress-family seeds are always scored, so the floor is the family
+  count);
+* **family dominance** — the certified worst case's scalarized regret is at least
+  that of every named stress family (the families seed the search, so the
+  certificate can never be weaker than the enumerated portfolio);
+* **fault-free identity** — compiling and scoring dozens of faulted scenarios
+  leaves fault-free evaluation byte-identical (sha256 over objectives /
+  feasibility / violations, computed before and after certification on the same
+  evaluator).
+
+Run metrics (wall-clock, budget spent, worst regret, per-family regrets) are
+appended to ``BENCH_scenario_stress.json`` with the git SHA, so certification
+cost/strength regressions are diffable across commits.
+"""
+
+import hashlib
+import json
+import time
+
+from _shared import persist_run_metrics, run_once, social_testbed
+
+from repro.analysis import format_table
+from repro.cluster import MigrationPlan
+from repro.quality import ScenarioAdversary, ScenarioSet, ScenarioSpec
+
+#: Scenario-evaluation budget of the certification smoke (small but enough for the
+#: family seeds plus a couple of descent passes).
+BUDGET = 24
+
+#: Fault-free control set fingerprinted before and after certification.
+CONTROL = ScenarioSet(
+    (
+        ScenarioSpec(name="observed"),
+        ScenarioSpec(name="burst-x4", rate_scale=4.0),
+        ScenarioSpec(name="chatty", payload_factors={"/composePost": 2.0}),
+    )
+)
+
+
+def _fingerprint(qualities) -> str:
+    payload = [
+        (tuple(q.plan.to_vector()), repr(q.objectives()), q.feasible, q.violations)
+        for q in qualities
+    ]
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+
+
+def _certified_plan(testbed) -> MigrationPlan:
+    """A deterministic mixed plan (respecting the pins) to certify."""
+    components = testbed.application.component_names
+    pins = testbed.preferences.pinned_placement
+    vector = [index % 2 for index in range(len(components))]
+    for component, location in pins.items():
+        vector[components.index(component)] = location
+    return MigrationPlan.from_vector(components, vector)
+
+
+def test_adversarial_certificate(benchmark):
+    testbed = social_testbed()
+    evaluator = testbed.atlas.build_evaluator(
+        expected_scale=1.0, preferences=testbed.preferences
+    )
+    plan = _certified_plan(testbed)
+    control_vectors = [[0] * len(testbed.application.component_names), plan.to_vector()]
+
+    def measure():
+        before = _fingerprint(
+            evaluator.evaluate_vectors(control_vectors, scenarios=CONTROL)
+        )
+        start = time.perf_counter()
+        adversary = ScenarioAdversary(evaluator, budget=BUDGET, seed=11)
+        certificate = adversary.certify(plan)
+        elapsed = time.perf_counter() - start
+        after = _fingerprint(
+            evaluator.evaluate_vectors(control_vectors, scenarios=CONTROL)
+        )
+        return {
+            "certificate": certificate,
+            "seconds": elapsed,
+            "fingerprint_before": before,
+            "fingerprint_after": after,
+        }
+
+    result = run_once(benchmark, measure)
+    certificate = result["certificate"]
+
+    rows = [
+        {"scenario": name, "scalarized_regret": round(regret, 4)}
+        for name, regret in sorted(certificate.family_regrets.items())
+    ]
+    rows.append(
+        {
+            "scenario": f"{certificate.worst_spec.name} (worst case)",
+            "scalarized_regret": round(certificate.worst_regret, 4),
+        }
+    )
+    print()
+    print(format_table(rows, title="Adversarial certification (social network)"))
+    print(certificate.summary())
+    print(f"certification wall-clock: {result['seconds']:.2f}s")
+
+    persist_run_metrics(
+        "adversarial_certificate",
+        {
+            "seconds": round(result["seconds"], 3),
+            "budget": BUDGET,
+            "budget_spent": certificate.budget_spent,
+            "worst_scenario": certificate.worst_spec.name,
+            "worst_regret": round(certificate.worst_regret, 6),
+            "feasible_under_fault": certificate.feasible_under_fault,
+            "family_regrets": {
+                name: round(regret, 6)
+                for name, regret in certificate.family_regrets.items()
+            },
+        },
+    )
+
+    # Budget discipline: never beyond the declared budget (family seeds floor it).
+    assert certificate.budget_spent <= max(BUDGET, len(certificate.family_regrets))
+    # Family dominance: the certificate is at least as strong as every family.
+    assert certificate.family_regrets
+    assert all(
+        certificate.worst_regret >= regret
+        for regret in certificate.family_regrets.values()
+    )
+    # Fault-free identity: certification must not perturb fault-free evaluation.
+    assert result["fingerprint_before"] == result["fingerprint_after"]

@@ -130,6 +130,64 @@ class NetworkModel:
         )
         return max(delta, 0.0)
 
+    # -- fault hooks -----------------------------------------------------------------------
+    def derive(
+        self, overrides: Mapping[Tuple[int, int], LinkSpec]
+    ) -> "NetworkModel":
+        """A sibling network with some links replaced (the fault-injection hook).
+
+        ``overrides`` maps (location, location) pairs — in either order — to the
+        replacement :class:`LinkSpec`; every other link is carried over unchanged.
+        """
+        links = dict(self._links)
+        for (a, b), spec in overrides.items():
+            key = self._key(a, b)
+            if key not in links:
+                raise KeyError(f"no link between locations {a} and {b} to override")
+            links[key] = spec
+        return NetworkModel(links)
+
+    def degraded(
+        self,
+        pairs: Optional[Sequence[Tuple[int, int]]] = None,
+        latency_factor: float = 1.0,
+        bandwidth_factor: float = 1.0,
+        extra_latency_ms: float = 0.0,
+    ) -> "NetworkModel":
+        """A sibling network with scaled/penalized link characteristics.
+
+        ``pairs`` selects which links degrade (default: every *inter*-location link);
+        each selected link's round-trip latency becomes
+        ``latency_ms * latency_factor + extra_latency_ms`` and its bandwidth
+        ``bandwidth_mbps * bandwidth_factor``.  This is how
+        :class:`~repro.quality.faults.LinkDegradation` and
+        :class:`~repro.quality.faults.LocationOutage` compile into the delay
+        injector: the degraded model feeds a performance scenario view whose Δ
+        tables price every cross-site edge against the faulted links.
+        """
+        if latency_factor < 0:
+            raise ValueError("latency_factor must be non-negative")
+        if bandwidth_factor <= 0:
+            raise ValueError("bandwidth_factor must be positive")
+        if extra_latency_ms < 0:
+            raise ValueError("extra_latency_ms must be non-negative")
+        if pairs is None:
+            keys = [key for key in self._links if key[0] != key[1]]
+        else:
+            keys = []
+            for a, b in pairs:
+                key = self._key(a, b)
+                if key in self._links and key not in keys:
+                    keys.append(key)
+        overrides = {}
+        for key in keys:
+            link = self._links[key]
+            overrides[key] = LinkSpec(
+                latency_ms=link.latency_ms * latency_factor + extra_latency_ms,
+                bandwidth_mbps=link.bandwidth_mbps * bandwidth_factor,
+            )
+        return self.derive(overrides) if overrides else self
+
 
 def default_network_model(
     intra_latency_ms: float = 0.168,

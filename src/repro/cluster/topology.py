@@ -60,6 +60,31 @@ class NodeSpec:
     def cpu_cores(self) -> float:
         return self.cpu_millicores / 1000.0
 
+    def scaled(
+        self,
+        capacity_factor: float = 1.0,
+        price_factor: float = 1.0,
+    ) -> "NodeSpec":
+        """A sibling spec with scaled capacity and/or price (the fault hook).
+
+        ``capacity_factor`` shrinks/grows the node's CPU and memory together — a
+        partial node-pool loss (:class:`~repro.quality.faults.CapacityCut`) models
+        "each node effectively packs fewer pods", so the autoscaler allocates more
+        nodes for the same demand.  ``price_factor`` scales the hourly rate
+        (:class:`~repro.quality.faults.PriceShock`).
+        """
+        if capacity_factor <= 0:
+            raise ValueError("capacity_factor must be positive")
+        if price_factor < 0:
+            raise ValueError("price_factor must be non-negative")
+        return NodeSpec(
+            name=self.name,
+            cpu_millicores=self.cpu_millicores * capacity_factor,
+            memory_mb=self.memory_mb * capacity_factor,
+            storage_gb=self.storage_gb,
+            hourly_price_usd=self.hourly_price_usd * price_factor,
+        )
+
 
 @dataclass
 class Datacenter:

@@ -107,6 +107,18 @@ class DriftScenarioUpdate:
     def drift_detected(self) -> bool:
         return bool(self.drifted_apis)
 
+    @property
+    def needs_recertification(self) -> bool:
+        """Escalation trigger: detected drift invalidates the last robustness certificate.
+
+        A :class:`~repro.quality.adversary.RobustnessCertificate` is a statement
+        about the workload the evaluator was compiled for; once any API drifts, the
+        certified worst case no longer bounds reality and
+        :meth:`Atlas.recertify <repro.recommend.advisor.Atlas.recertify>` should
+        re-run the adversary against the refreshed scenario.
+        """
+        return self.drift_detected
+
 
 class DriftDetector:
     """Per-API drift detection against the last recommendation round."""

@@ -13,10 +13,19 @@ the S axis, ``RobustAggregator`` collapses the S×P objective tensor, and
 scores plans robustly against the whole family.
 """
 
+from .adversary import AdversaryBounds, RobustnessCertificate, ScenarioAdversary
 from .availability import ApiAvailabilityModel, AvailabilityEstimate
 from .compiled import CompiledTraceSet, compile_traces
 from .cost import CloudCostModel, CostEstimate, PricingCatalog
 from .evaluator import PlanQuality, QualityEvaluator
+from .faults import (
+    CapacityCut,
+    FaultedStack,
+    FaultSpec,
+    LinkDegradation,
+    LocationOutage,
+    PriceShock,
+)
 from .performance import ApiPerformanceModel, DelayInjector, PerformanceEstimate
 from .preferences import MigrationPreferences
 from .problem import (
@@ -41,6 +50,7 @@ from .problem import (
     registered_constraints,
     registered_objectives,
 )
+from .scenario_factory import ScenarioFactory
 from .scenarios import (
     CVaR,
     RobustAggregator,
@@ -94,4 +104,14 @@ __all__ = [
     "WeightedMean",
     "CVaR",
     "scaled_footprint",
+    "FaultSpec",
+    "FaultedStack",
+    "LocationOutage",
+    "LinkDegradation",
+    "PriceShock",
+    "CapacityCut",
+    "ScenarioFactory",
+    "AdversaryBounds",
+    "RobustnessCertificate",
+    "ScenarioAdversary",
 ]

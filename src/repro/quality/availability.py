@@ -78,6 +78,24 @@ class ApiAvailabilityModel:
     def apis(self) -> List[str]:
         return list(self._apis)
 
+    def derive(
+        self, location_weights: Optional[Mapping[int, float]] = None
+    ) -> "ApiAvailabilityModel":
+        """A sibling model with different failure-domain weights (the fault hook).
+
+        Shares the learned stateful-component sets and the baseline plan; caches are
+        per-model, so a faulted scenario's heavier destination weights (e.g. a
+        :class:`~repro.quality.faults.LocationOutage` penalizing its failed site)
+        never contaminate the fault-free model.
+        """
+        return ApiAvailabilityModel(
+            stateful_components_by_api=self._stateful,
+            baseline_plan=self.baseline_plan,
+            location_weights=(
+                location_weights if location_weights is not None else self.location_weights
+            ),
+        )
+
     def stateful_components_of(self, api: str) -> Set[str]:
         """``SC(A)`` — the stateful components the API touches."""
         return set(self._stateful.get(api, set()))

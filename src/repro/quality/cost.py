@@ -165,13 +165,17 @@ class CloudCostModel:
         self,
         estimate: Optional[ResourceEstimate] = None,
         footprint: Optional[NetworkFootprint] = None,
+        catalogs: Optional[Mapping[int, PricingCatalog]] = None,
     ) -> "CloudCostModel":
         """A sibling cost model over a different period of interest / footprint.
 
         Used by the scenario axis: each compiled scenario bills its own resource
         estimate (autoscaler node series, storage usage, request-rate buckets) and
         payload-scaled footprint while sharing the catalogs, storage metadata and
-        baseline plan.  Caches are per-model, so scenarios never cross-contaminate.
+        baseline plan.  ``catalogs`` overrides the per-location pricing — the fault
+        hook :class:`~repro.quality.faults.PriceShock` / :class:`~repro.quality.faults.CapacityCut`
+        compile through (shocked prices, shrunk node specs).  Caches are per-model,
+        so scenarios never cross-contaminate.
         """
         return CloudCostModel(
             catalog=self.catalog,
@@ -181,7 +185,7 @@ class CloudCostModel:
             baseline_plan=self.baseline_plan,
             time_compression=self.time_compression,
             charge_cloud_egress_only=self.charge_cloud_egress_only,
-            catalogs=self.catalogs,
+            catalogs=catalogs if catalogs is not None else self.catalogs,
         )
 
     # -- individual terms -----------------------------------------------------------------

@@ -44,6 +44,7 @@ from ..cluster.placement import MigrationPlan
 from ..learning.estimator import ResourceEstimate, ResourceEstimator
 from .availability import ApiAvailabilityModel
 from .cost import CloudCostModel
+from .faults import FaultedStack
 from .performance import ApiPerformanceModel
 from .preferences import MigrationPreferences
 from .problem import (
@@ -130,6 +131,11 @@ class _ScenarioContext:
     :class:`~repro.quality.cost.CloudCostModel` over the scenario's resource estimate
     and payload-scaled footprint, ``estimate`` feeds the on-prem peak constraint, and
     ``weights`` is the scenario's τ_A trace-weight vector for QPerf/QAvai.
+
+    ``availability`` and ``preferences`` are the scenario-resolved views of the
+    remaining two artifact families — identical to the evaluator's base objects for
+    fault-free scenarios, derived (outage-weighted availability, evacuated/limited
+    preferences) when the spec declares :attr:`~repro.quality.scenarios.ScenarioSpec.faults`.
     """
 
     spec: ScenarioSpec
@@ -137,6 +143,8 @@ class _ScenarioContext:
     cost: CloudCostModel
     estimate: ResourceEstimate
     weights: Dict[str, float]
+    availability: ApiAvailabilityModel
+    preferences: MigrationPreferences
 
 
 class QualityEvaluator:
@@ -527,11 +535,14 @@ class QualityEvaluator:
         to — the classic path.  Non-baseline specs derive: a scenario resource
         estimate (re-predicted per-API rate series), a payload-scaled footprint, a
         performance scenario view (shared compiled traces + replay caches) and a
-        scenario τ_A weight vector.
+        scenario τ_A weight vector.  Specs with faults additionally derive the
+        network/availability/catalog/preference artifacts through
+        :class:`~repro.quality.faults.FaultedStack`.
         """
         key = spec.compile_key()
         context = self._scenario_contexts.get(key)
         if context is None:
+            self._validate_spec_apis(spec)
             if spec.is_baseline:
                 context = _ScenarioContext(
                     spec=spec,
@@ -539,16 +550,44 @@ class QualityEvaluator:
                     cost=self.cost,
                     estimate=self.estimate,
                     weights=self._weights,
+                    availability=self.availability,
+                    preferences=self.preferences,
                 )
             else:
                 estimate = self._scenario_estimate(spec)
+                availability = self.availability
+                preferences = self.preferences
+                network = None
+                catalogs = None
+                if spec.faults:
+                    stack = FaultedStack(
+                        network=self.performance.network,
+                        availability=self.availability,
+                        catalogs=dict(self.cost.catalogs),
+                        preferences=self.preferences,
+                        locations=tuple(self.performance.network.locations()),
+                    )
+                    for fault in spec.faults:
+                        fault.apply(stack)
+                    if stack.network is not self.performance.network:
+                        network = stack.network
+                    availability = stack.availability
+                    preferences = stack.preferences
+                    if stack.catalogs_changed:
+                        catalogs = stack.catalogs
                 performance = self.performance.scenario_view(
                     scaled_footprint(self.performance.footprint, spec),
-                    changed_apis=spec.changed_payload_apis(),
+                    # A faulted network can shift every API's Δ tables, so the
+                    # changed-API row reuse only applies on the base network.
+                    changed_apis=(
+                        spec.changed_payload_apis() if network is None else None
+                    ),
+                    network=network,
                 )
                 cost = self.cost.derive(
                     estimate=estimate,
                     footprint=scaled_footprint(self.cost.footprint, spec),
+                    catalogs=catalogs,
                 )
                 weights = {
                     api: weight * spec.mix_factor(api)
@@ -560,9 +599,29 @@ class QualityEvaluator:
                     cost=cost,
                     estimate=estimate,
                     weights=weights,
+                    availability=availability,
+                    preferences=preferences,
                 )
             self._scenario_contexts[key] = context
         return context
+
+    def _validate_spec_apis(self, spec: ScenarioSpec) -> None:
+        """Reject scenario factor maps naming APIs the evaluator does not know.
+
+        A typo'd API name in ``api_rate_factors`` / ``payload_factors`` would
+        otherwise silently no-op (the factors are looked up per known API), making
+        the scenario weaker than the author intended.
+        """
+        referenced = set(spec.api_rate_factors) | set(spec.payload_factors)
+        if not referenced:
+            return
+        known = set(self.performance.apis) | set(self.estimate.api_rates)
+        unknown = sorted(referenced - known)
+        if unknown:
+            raise ValueError(
+                f"scenario {spec.name!r} references unknown APIs {unknown}; "
+                f"known APIs are {sorted(known)}"
+            )
 
     def _scenario_eval_context(
         self,
@@ -577,11 +636,11 @@ class QualityEvaluator:
             matrix=matrix,
             components=list(components),
             performance=context.performance,
-            availability=self.availability,
+            availability=context.availability,
             cost=context.cost,
             estimate=context.estimate,
             weights=context.weights,
-            preferences=self.preferences,
+            preferences=context.preferences,
             evaluator=self,
             scenario=context.spec,
             base_performance=self.performance,

@@ -237,29 +237,38 @@ class ApiPerformanceModel:
         self,
         footprint: NetworkFootprint,
         changed_apis: Optional[Sequence[str]] = None,
+        network: Optional[NetworkModel] = None,
     ) -> "ApiPerformanceModel":
-        """A lightweight view of this model under a different (payload-scaled) footprint.
+        """A lightweight view of this model under a different footprint and/or network.
 
-        The view shares everything that does not depend on footprint bytes: the sample
-        traces, baseline means, per-API edge/touched sets, the compiled trace sets and
-        — crucially — the replay result caches (``_by_signature`` and ``_row_means``
-        are keyed by the exact Δ map / raw Δ-row bytes, and a replay depends only on
-        the compiled traces plus the Δ row, never on which footprint produced it).  It
-        owns the footprint-dependent Δ caches (projection cache and Δ lookup tables).
-        Scenarios that scale no payloads get back ``self``, sharing everything.
+        The view shares everything that does not depend on footprint bytes or link
+        characteristics: the sample traces, baseline means, per-API edge/touched
+        sets, the compiled trace sets and — crucially — the replay result caches
+        (``_by_signature`` and ``_row_means`` are keyed by the exact Δ map / raw
+        Δ-row bytes, and a replay depends only on the compiled traces plus the Δ
+        row, never on which footprint or network produced it).  It owns the
+        Δ-producing caches (projection cache and Δ lookup tables).  Scenarios that
+        scale no payloads and keep the base network get back ``self``, sharing
+        everything.
 
         ``changed_apis`` names the APIs whose footprint bytes actually differ from
         this model's (``None`` means "assume all changed"): robust evaluation then
         copies the *unchanged* APIs' impact rows straight from the base impact
-        matrix instead of re-gathering their Δ rows per scenario.
+        matrix instead of re-gathering their Δ rows per scenario.  ``network``
+        overrides the link model (the :class:`~repro.quality.faults.LinkDegradation`
+        / :class:`~repro.quality.faults.LocationOutage` hook); a network change
+        potentially shifts every API's Δ tables, so callers must leave
+        ``changed_apis`` at ``None`` when they pass one.
         """
-        if footprint is self.footprint:
+        if footprint is self.footprint and network is None:
             return self
         # Shallow-copy so every attribute (current and future) is shared by
         # reference, then give the view its own copies of exactly the
-        # footprint-dependent state.
+        # footprint/network-dependent state.
         view = copy.copy(self)
         view.footprint = footprint
+        if network is not None:
+            view.network = network
         view._delays_by_projection = {}
         view._delta_tables = {}
         view._changed_apis = (

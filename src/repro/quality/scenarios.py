@@ -39,6 +39,7 @@ import numpy as np
 
 from ..learning.footprint import EdgeFootprint, NetworkFootprint
 from ..workload.profiles import WorkloadScenario
+from .faults import FaultSpec
 
 __all__ = [
     "ScenarioSpec",
@@ -69,6 +70,12 @@ class ScenarioSpec:
 
     ``weight`` is the scenario's probability mass under weighted aggregators
     (:class:`WeightedMean`, :class:`CVaR`); :class:`WorstCase` ignores it.
+
+    ``faults`` composes infrastructure faults (:mod:`repro.quality.faults`) into the
+    scenario: location outages, link degradations, price shocks and capacity cuts
+    compile into derived network/availability/cost/preference artifacts alongside
+    the workload changes, so a faulted scenario rides the same S×P batched
+    evaluation as a workload-only one.
     """
 
     name: str
@@ -77,6 +84,7 @@ class ScenarioSpec:
     payload_scale: float = 1.0
     payload_factors: Mapping[str, float] = field(default_factory=dict)
     weight: float = 1.0
+    faults: Tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -93,6 +101,10 @@ class ScenarioSpec:
         for api, factor in self.payload_factors.items():
             if factor <= 0:
                 raise ValueError(f"payload factor for API {api!r} must be positive")
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, FaultSpec):
+                raise TypeError(f"faults must be FaultSpec instances, got {fault!r}")
 
     # -- derived factors -------------------------------------------------------------------
     def rate_factor(self, api: str) -> float:
@@ -123,7 +135,19 @@ class ScenarioSpec:
     @property
     def is_baseline(self) -> bool:
         """Whether the spec is the identity transform of the base workload."""
-        return not self.changes_rates and not self.changes_payloads
+        return not self.changes_rates and not self.changes_payloads and not self.faults
+
+    def with_faults(self, *faults: FaultSpec) -> "ScenarioSpec":
+        """A copy with the given faults appended to this spec's fault stack."""
+        return ScenarioSpec(
+            name=self.name,
+            rate_scale=self.rate_scale,
+            api_rate_factors=dict(self.api_rate_factors),
+            payload_scale=self.payload_scale,
+            payload_factors=dict(self.payload_factors),
+            weight=self.weight,
+            faults=self.faults + tuple(faults),
+        )
 
     def changed_payload_apis(self) -> Optional[frozenset]:
         """APIs whose footprint bytes this spec changes (``None`` = all of them)."""
@@ -137,15 +161,20 @@ class ScenarioSpec:
         """Identity of the spec's *compiled artifacts* (estimate, footprint, weights).
 
         Excludes ``weight``: the aggregation weight never enters the compiled
-        models, so weight-only tuning must not recompile scenario contexts.
+        models, so weight-only tuning must not recompile scenario contexts.  Fault
+        keys are appended only when faults are present, so fault-free specs keep
+        the exact pre-fault key shape (and cache identity).
         """
-        return (
+        key = (
             self.name,
             float(self.rate_scale),
             tuple(sorted((api, float(f)) for api, f in self.api_rate_factors.items())),
             float(self.payload_scale),
             tuple(sorted((api, float(f)) for api, f in self.payload_factors.items())),
         )
+        if self.faults:
+            key = key + (tuple(fault.key() for fault in self.faults),)
+        return key
 
     def key(self) -> Tuple:
         """Canonical hashable identity used by the evaluator's result caches."""
@@ -384,9 +413,20 @@ class WeightedMean(RobustAggregator):
 class CVaR(RobustAggregator):
     """Conditional value-at-risk: the expected objective over the worst ``alpha`` tail.
 
-    ``alpha=1`` degenerates to :class:`WeightedMean`; ``alpha → 0`` approaches
-    :class:`WorstCase`.  Scenario weights are the probability masses the tail is cut
-    from, with the boundary scenario counted fractionally.
+    **Alpha convention.** ``alpha`` in ``(0, 1]`` is the *tail mass*: the fraction
+    of total scenario probability the aggregate averages over, cut from the worst
+    (largest-objective) end of the scenario axis with the boundary scenario counted
+    fractionally.  The boundary laws are exact, not just asymptotic:
+
+    * ``alpha == 1.0`` **is** :class:`WeightedMean` — the tail covers every
+      scenario, and ``combine`` computes the identical weighted-mean expression,
+      so the results agree bitwise on any tensor.
+    * ``alpha → 0⁺`` **is** :class:`WorstCase` — once the tail mass fits entirely
+      inside each column's worst scenario (``alpha * Σw ≤ min_s w_s`` suffices),
+      the fractional average collapses to that scenario's exact value (``max``
+      over the axis, bitwise), with no ``(v·t)/t`` round-trip.
+
+    Scenario weights are the probability masses the tail is cut from.
     """
 
     name = "cvar"
@@ -402,13 +442,23 @@ class CVaR(RobustAggregator):
     def combine(self, values: np.ndarray, weights: np.ndarray) -> np.ndarray:
         if values.shape[0] == 1:
             return values[0]
+        if self.alpha == 1.0:
+            # Boundary law: the full-mass tail IS the weighted mean (bitwise).
+            return (values * weights[:, None]).sum(axis=0) / weights.sum()
         order = np.argsort(-values, axis=0, kind="stable")
         sorted_values = np.take_along_axis(values, order, axis=0)
         sorted_weights = weights[order]
         tail_mass = self.alpha * weights.sum()
         consumed_before = np.cumsum(sorted_weights, axis=0) - sorted_weights
         used = np.clip(tail_mass - consumed_before, 0.0, sorted_weights)
-        return (sorted_values * used).sum(axis=0) / tail_mass
+        combined = (sorted_values * used).sum(axis=0) / tail_mass
+        # Boundary law: a tail that never spills past a column's worst scenario is
+        # exactly that scenario's value — return it without the (v*t)/t round-trip
+        # so CVaR(alpha→0⁺) matches WorstCase bitwise.
+        within_worst = tail_mass <= sorted_weights[0]
+        if np.any(within_worst):
+            combined = np.where(within_worst, sorted_values[0], combined)
+        return combined
 
 
 # ---------------------------------------------------------------------------

@@ -33,21 +33,31 @@ from ..learning.api_profile import ApiProfile, ApiProfiler
 from ..learning.component_profile import ComponentProfile, ComponentProfiler
 from ..learning.estimator import ResourceEstimate, ResourceEstimator
 from ..learning.footprint import FootprintLearner, NetworkFootprint
-from ..monitoring.drift import DriftDetector
+from ..monitoring.drift import DriftDetector, DriftScenarioUpdate
 from ..monitoring.security import BreachDetector
 from ..optimizer.atlas_ga import AtlasGA, GAConfig, SearchResult
 from ..optimizer.baselines import BaselineContext
+from ..quality.adversary import (
+    AdversaryBounds,
+    RobustnessCertificate,
+    ScenarioAdversary,
+)
 from ..quality.availability import ApiAvailabilityModel
 from ..quality.cost import CloudCostModel, PricingCatalog
 from ..quality.evaluator import PlanQuality, QualityEvaluator
 from ..quality.performance import ApiPerformanceModel, PerformanceEstimate
 from ..quality.preferences import MigrationPreferences
 from ..quality.problem import PlacementProblem
+from ..quality.scenario_factory import ScenarioFactory
 from ..quality.scenarios import RobustAggregator, ScenarioSet, ScenarioSpec, WorstCase
 from ..telemetry.server import TelemetryServer
 from .hierarchy import PlanHierarchy
 
 __all__ = ["AtlasConfig", "ApplicationKnowledge", "Recommendation", "Atlas"]
+
+#: Scenario-evaluation budget of ``Atlas.recommend(certify=True)`` — enough for the
+#: stress-family seeds plus a couple of coordinate-descent passes on small testbeds.
+DEFAULT_CERTIFY_BUDGET = 48
 
 #: One-shot flag of the legacy-kwarg deprecation shim (warn once per process).
 _LEGACY_KWARGS_WARNED = False
@@ -132,6 +142,9 @@ class Recommendation:
     scenario_set: Optional[ScenarioSet] = None
     aggregator: Optional[RobustAggregator] = None
     problem: Optional[PlacementProblem] = None
+    #: Worst-case certificate of the knee-point plan (``Atlas.recommend(certify=...)``
+    #: or a later ``Atlas.certify_plan`` / ``Atlas.recertify`` round).
+    certificate: Optional[RobustnessCertificate] = None
 
     @property
     def plans(self) -> List[PlanQuality]:
@@ -405,6 +418,7 @@ class Atlas:
         ] = None,
         aggregator: Optional[RobustAggregator] = None,
         problem: Optional[PlacementProblem] = None,
+        certify: Union[None, bool, int] = None,
     ) -> Recommendation:
         """Run the DRL-based genetic search and return the Pareto-optimal plans.
 
@@ -421,6 +435,13 @@ class Atlas:
         same scenario axis, byte-identical to the historical behavior.  Robust
         recommendations carry per-scenario objective breakdowns and report regret
         against the per-scenario optima.
+
+        ``certify`` attaches an adversarial worst-case certificate for the knee
+        point: after the search, a :class:`~repro.quality.adversary.ScenarioAdversary`
+        searches the bounded scenario/fault space for the spec maximizing the knee
+        plan's regret and records the result on
+        :attr:`Recommendation.certificate`.  ``certify=True`` uses the default
+        evaluation budget; an integer sets the budget explicitly.
         """
         if problem is not None:
             if scenarios is not None or aggregator is not None:
@@ -466,7 +487,7 @@ class Atlas:
             locations=self.locations,
         )
         result = ga.run()
-        return Recommendation(
+        recommendation = Recommendation(
             result=result,
             evaluator=evaluator,
             estimate=evaluator.estimate,
@@ -475,6 +496,81 @@ class Atlas:
             aggregator=bound_aggregator if scenario_set is not None else None,
             problem=problem,
         )
+        if certify:
+            budget = DEFAULT_CERTIFY_BUDGET if certify is True else int(certify)
+            recommendation.certificate = self.certify_plan(
+                evaluator, recommendation.knee_point().plan, budget=budget
+            )
+        return recommendation
+
+    def certify_plan(
+        self,
+        evaluator: QualityEvaluator,
+        plan: MigrationPlan,
+        budget: int = 48,
+        seed: int = 0,
+        bounds: Optional[AdversaryBounds] = None,
+        extra_specs: Sequence[ScenarioSpec] = (),
+    ) -> RobustnessCertificate:
+        """Adversarially certify one plan's worst case over the bounded scenario space.
+
+        Builds a :class:`~repro.quality.scenario_factory.ScenarioFactory` from the
+        evaluator's learned artifacts (its stress families seed the search) and runs
+        the :class:`~repro.quality.adversary.ScenarioAdversary` against ``plan``.
+        ``extra_specs`` join the seed population — e.g. a drift-refreshed scenario.
+        """
+        adversary = ScenarioAdversary(
+            evaluator,
+            factory=ScenarioFactory.from_evaluator(evaluator, locations=self.locations),
+            bounds=bounds,
+            budget=budget,
+            seed=seed,
+            extra_specs=extra_specs,
+        )
+        return adversary.certify(plan)
+
+    def recertify(
+        self,
+        recommendation: Recommendation,
+        executed_plan: MigrationPlan,
+        update: DriftScenarioUpdate,
+        base_scenario: Optional[ScenarioSpec] = None,
+        budget: int = 48,
+        seed: int = 0,
+        bounds: Optional[AdversaryBounds] = None,
+    ) -> Optional[RobustnessCertificate]:
+        """Drift-triggered re-certification of an executed plan.
+
+        When ``update`` (a :meth:`DriftDetector.check_all
+        <repro.monitoring.drift.DriftDetector.check_all>` result with a scenario)
+        reports drift, the stale compiled scenario state of the drifted APIs is
+        invalidated and the adversary re-runs against the refreshed workload: the
+        drift-compiled scenario (``ScenarioSpec.from_workload(update.scenario,
+        base_scenario)`` when both are given) joins the seed population.  Without
+        drift the existing certificate still stands and is returned unchanged.
+        The fresh certificate replaces ``recommendation.certificate``.
+        """
+        if not update.needs_recertification:
+            return recommendation.certificate
+        evaluator = recommendation.evaluator
+        evaluator.invalidate_for_scenario(apis=update.drifted_apis)
+        extra: Tuple[ScenarioSpec, ...] = ()
+        if update.scenario is not None and base_scenario is not None:
+            extra = (
+                ScenarioSpec.from_workload(
+                    update.scenario, base_scenario, name="drift-refresh"
+                ),
+            )
+        certificate = self.certify_plan(
+            evaluator,
+            executed_plan,
+            budget=budget,
+            seed=seed,
+            bounds=bounds,
+            extra_specs=extra,
+        )
+        recommendation.certificate = certificate
+        return certificate
 
     def _seed_vectors(self, evaluator: QualityEvaluator, config: GAConfig):
         """Affinity-guided population seeds derived from Atlas's own learned footprints."""

@@ -346,6 +346,41 @@ class TestAggregators:
         with pytest.raises(ValueError):
             CVaR(1.5)
 
+    @settings(max_examples=80, deadline=None)
+    @given(
+        values=st.lists(
+            st.lists(
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=4,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=6, max_size=6
+        ),
+    )
+    def test_cvar_boundary_laws_are_bitwise(self, values, weights):
+        """CVaR(alpha=1) == WeightedMean and CVaR(alpha→0⁺) == WorstCase, bitwise.
+
+        The boundary laws are exact by construction (the implementation special-
+        cases both limits rather than relying on float cancellation), so the
+        comparison is on raw bytes, not a tolerance.
+        """
+        tensor = np.asarray(values, dtype=np.float64)
+        weight_array = np.asarray(weights[: tensor.shape[0]], dtype=np.float64)
+        mean = WeightedMean().combine(tensor, weight_array)
+        assert CVaR(1.0).combine(tensor, weight_array).tobytes() == mean.tobytes()
+        worst = WorstCase().combine(tensor, weight_array)
+        # Any tail mass at or below the heaviest single scenario's weight share
+        # keeps the conditional tail inside the worst row.
+        tiny_alpha = min(1e-12, float(weight_array.min() / weight_array.sum()) / 2.0)
+        assert (
+            CVaR(tiny_alpha).combine(tensor, weight_array).tobytes()
+            == worst.tobytes()
+        )
+
 
 class TestScenarioSpecs:
     def test_from_workload_compiles_factors(self):
