@@ -33,15 +33,20 @@ this benchmark additionally guards the dispatch cost of that indirection:
 """
 
 import gc
+import hashlib
+import json
+import os
 import time
 
 import numpy as np
+import pytest
 
-from _shared import run_once, social_testbed
+from _shared import persist_run_metrics, run_once, social_testbed
 
 from repro.analysis import format_table
 from repro.cluster import MigrationPlan
 from repro.cluster.topology import ON_PREM
+from repro.optimizer import AtlasGA, GAConfig
 from repro.quality import EgressTrafficObjective, PlacementProblem, PlanQuality
 
 #: Random candidate plans scored by all paths (distinct plans, like a GA sample).
@@ -315,3 +320,111 @@ def test_eval_throughput(benchmark):
     assert overhead <= K3_OVERHEAD_BAR, (
         f"problem-engine overhead {overhead:.3f}x exceeds the {K3_OVERHEAD_BAR}x bar"
     )
+
+
+#: Search workload of the parallel (island) benchmark: uniform crossover keeps the
+#: comparison about the search loop itself (no DRL training in either arm), and a
+#: bounded generation count bounds the fixed migration-epoch schedule.
+PARALLEL_SEARCH_GA = GAConfig(
+    population_size=48,
+    offspring_per_generation=24,
+    evaluation_budget=2_500,
+    max_generations=120,
+    crossover="uniform",
+    migration_period=10,
+    migration_elites=2,
+    seed=17,
+)
+#: Required end-to-end speedup of islands=W over the serial search at W>=4
+#: (enforced only on machines that actually have >= W cores, e.g. 4-vCPU CI).
+PARALLEL_SPEEDUP_BAR = 2.5
+
+
+def _front_fingerprint(result):
+    """sha256 of the merged front's plan vectors + objective vectors."""
+    payload = [
+        [quality.plan.to_vector(), [repr(v) for v in quality.objectives()]]
+        for quality in result.pareto
+    ]
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+
+
+def test_parallel_search_speedup(benchmark, workers):
+    """Island-model search vs the serial loop, same total budget (see --workers)."""
+    if workers < 2:
+        pytest.skip("pass --workers W (W >= 2) to run the parallel-search benchmark")
+    testbed = social_testbed()
+    components = testbed.application.component_names
+
+    def run(islands):
+        # A fresh evaluator per run: neither arm may reuse the other's replay
+        # caches, and the serial arm compiles (while the parallel arm compiles +
+        # exports to shared memory) inside its own timed region.
+        evaluator = testbed.atlas.build_evaluator(
+            expected_scale=testbed.expected_scale, preferences=testbed.preferences
+        )
+        start = time.perf_counter()
+        result = AtlasGA(
+            evaluator, components, config=PARALLEL_SEARCH_GA, islands=islands
+        ).run()
+        return result, time.perf_counter() - start
+
+    def measure():
+        serial_result, serial_s = run(islands=1)
+        parallel_result, parallel_s = run(islands=workers)
+        repeat_result, _ = run(islands=workers)
+        return {
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "serial_evaluations": serial_result.evaluations,
+            "parallel_evaluations": parallel_result.evaluations,
+            "serial_front": len(serial_result.pareto),
+            "parallel_front": len(parallel_result.pareto),
+            "fingerprint": _front_fingerprint(parallel_result),
+            "fingerprint_repeat": _front_fingerprint(repeat_result),
+        }
+
+    result = run_once(benchmark, measure)
+    speedup = result["serial_s"] / result["parallel_s"]
+    rows = [
+        {
+            "path": "serial search (islands=1)",
+            "evaluations": result["serial_evaluations"],
+            "front": result["serial_front"],
+            "seconds": round(result["serial_s"], 3),
+        },
+        {
+            "path": f"island search (islands={workers})",
+            "evaluations": result["parallel_evaluations"],
+            "front": result["parallel_front"],
+            "seconds": round(result["parallel_s"], 3),
+        },
+    ]
+    print()
+    print(format_table(rows, title="Parallel island search (social-network testbed)"))
+    print(
+        f"end-to-end speedup at {workers} islands: {speedup:.2f}x "
+        f"(host cores: {os.cpu_count()})"
+    )
+    persist_run_metrics(
+        "parallel_search",
+        {
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+            "serial_s": round(result["serial_s"], 4),
+            "parallel_s": round(result["parallel_s"], 4),
+            "speedup": round(speedup, 3),
+            "serial_evaluations": result["serial_evaluations"],
+            "parallel_evaluations": result["parallel_evaluations"],
+            "front_fingerprint": result["fingerprint"],
+        },
+    )
+    # Fixed-seed determinism across full parallel runs (fresh evaluators each).
+    assert result["fingerprint"] == result["fingerprint_repeat"]
+    assert result["parallel_front"] > 0
+    # The speedup bar only binds where the hardware can express it (4-vCPU CI).
+    if workers >= 4 and (os.cpu_count() or 1) >= workers:
+        assert speedup >= PARALLEL_SPEEDUP_BAR, (
+            f"island search speedup {speedup:.2f}x at {workers} workers is below "
+            f"the {PARALLEL_SPEEDUP_BAR}x bar"
+        )

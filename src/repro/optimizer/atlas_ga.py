@@ -223,6 +223,12 @@ class GAConfig:
     train_pairs: int = 64
     crossover: str = "drl"  # "drl" or "uniform" (the NSGA-II ablation of Figure 21)
     seed: int = 0
+    #: Island-model parallelism: number of forked subpopulations (1 = the serial
+    #: loop, byte-identical to the historical search), elite-migration period in
+    #: generations, and how many elites each island sends around the ring.
+    islands: int = 1
+    migration_period: int = 10
+    migration_elites: int = 2
 
     def __post_init__(self) -> None:
         if self.population_size < 4:
@@ -231,6 +237,12 @@ class GAConfig:
             raise ValueError("crossover must be 'drl' or 'uniform'")
         if self.evaluation_budget <= self.population_size:
             raise ValueError("evaluation_budget must exceed the population size")
+        if self.islands < 1:
+            raise ValueError("islands must be >= 1")
+        if self.migration_period < 1:
+            raise ValueError("migration_period must be >= 1")
+        if self.migration_elites < 1:
+            raise ValueError("migration_elites must be >= 1")
 
 
 @dataclass
@@ -313,10 +325,20 @@ class AtlasGA:
         config: Optional[GAConfig] = None,
         seed_vectors: Optional[Sequence[Sequence[int]]] = None,
         locations: Optional[Sequence[int]] = None,
+        islands: Optional[int] = None,
     ) -> None:
         self.evaluator = evaluator
         self.components = list(components)
         self.config = config or GAConfig()
+        #: Island-model parallelism (``islands`` overrides the config knob): W > 1
+        #: shards the search into W forked subpopulations over shared memory (see
+        #: ``optimizer/parallel.py``); W = 1 is the serial loop, byte-identical to
+        #: the historical search.
+        self.islands = int(islands) if islands is not None else int(self.config.islands)
+        if self.islands < 1:
+            raise ValueError("islands must be >= 1")
+        #: Set by the island worker: this island's end of the migration ring.
+        self._migration = None
         self.locations: Tuple[int, ...] = (
             tuple(int(loc) for loc in locations)
             if locations is not None
@@ -558,6 +580,21 @@ class AtlasGA:
 
     # -- main loop -------------------------------------------------------------------------------
     def run(self) -> SearchResult:
+        """Run the search: the serial loop, or W forked islands when ``islands > 1``.
+
+        The parallel path shards the population into ``islands`` subpopulations in
+        worker processes scoring against shared-memory compiled state, with periodic
+        elite migration on a fixed ring and a K-dim non-dominated merge of the
+        per-island fronts (see ``optimizer/parallel.py`` for the execution model and
+        the determinism contract).  ``islands=1`` is the unmodified serial path.
+        """
+        if self.islands > 1:
+            from .parallel import run_island_search
+
+            return run_island_search(self)
+        return self._run_serial()
+
+    def _run_serial(self) -> SearchResult:
         start = time.perf_counter()
         # Plans cached on the evaluator before this run started (e.g. by a previous
         # run() on a shared evaluator) are not part of this run's "plans visited".
@@ -596,6 +633,12 @@ class AtlasGA:
                 offspring.append(self._apply_constraints(child))
             for _ in range(self.config.immigrants_per_generation):
                 offspring.append(self._random_vector())
+            if self._migration is not None:
+                # Elites received from the ring neighbour last epoch compete as
+                # extra offspring (deterministic, no RNG consumed; never taken in
+                # the serial path, so fixed-seed trajectories are untouched).
+                for migrant in self._migration.take_migrants():
+                    offspring.append(self._apply_constraints(list(migrant)))
             if (
                 self.config.local_search_period > 0
                 and generations % self.config.local_search_period == 0
@@ -611,7 +654,13 @@ class AtlasGA:
             survivors = survival_selection(combined_objectives, self.config.population_size)
             population = [combined[i] for i in survivors]
             qualities = [combined_quality[i] for i in survivors]
+            if self._migration is not None:
+                self._migration.after_generation(generations, population, qualities)
 
+        if self._migration is not None:
+            # Keep answering the remaining migration epochs (the schedule is fixed
+            # fleet-wide) so slower islands never block on this one's barriers.
+            self._migration.drain(population, qualities)
         feasible = [q for q in qualities if q.feasible]
         front = pareto_front(feasible, key=lambda q: q.objectives())
         front.sort(key=lambda q: q.objectives())

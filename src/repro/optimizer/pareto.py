@@ -14,6 +14,7 @@ import numpy as np
 __all__ = [
     "dominates",
     "pareto_front",
+    "merge_fronts",
     "non_dominated_sort",
     "crowding_distance",
     "hypervolume_2d",
@@ -49,6 +50,44 @@ def pareto_front(items: Sequence[T], key: Callable[[T], Sequence[float]]) -> Lis
         if not dominated:
             front.append(item)
     return front
+
+
+def merge_fronts(
+    fronts: Sequence[Sequence[T]], key: Callable[[T], Sequence[float]]
+) -> List[T]:
+    """Merge per-island Pareto fronts into one non-dominated front.
+
+    Equivalent to :func:`pareto_front` over the concatenation of all fronts (same
+    dominance rule, same first-occurrence deduplication of identical objective
+    vectors, same concatenation-order output), but maintained incrementally: each
+    incoming item is compared against the merged set only, dominated survivors are
+    evicted as better items arrive.  This is the K-dim merge the island-model
+    parallel search applies to the per-worker fronts, and the law the property
+    suite in ``tests/test_parallel.py`` pins down.
+    """
+    merged: List[T] = []
+    merged_objectives: List[Objectives] = []
+    for front in fronts:
+        for item in front:
+            objectives = tuple(float(v) for v in key(item))
+            skip = False
+            for kept in merged_objectives:
+                if kept == objectives or dominates(kept, objectives):
+                    skip = True
+                    break
+            if skip:
+                continue
+            survivors = [
+                i
+                for i, kept in enumerate(merged_objectives)
+                if not dominates(objectives, kept)
+            ]
+            if len(survivors) != len(merged):
+                merged = [merged[i] for i in survivors]
+                merged_objectives = [merged_objectives[i] for i in survivors]
+            merged.append(item)
+            merged_objectives.append(objectives)
+    return merged
 
 
 def non_dominated_sort(objectives: Sequence[Sequence[float]]) -> List[List[int]]:

@@ -45,6 +45,7 @@ from ..learning.estimator import ResourceEstimate, ResourceEstimator
 from .availability import ApiAvailabilityModel
 from .cost import CloudCostModel
 from .faults import FaultedStack
+from .compiled import ShmArena
 from .performance import ApiPerformanceModel
 from .preferences import MigrationPreferences
 from .problem import (
@@ -209,6 +210,8 @@ class QualityEvaluator:
         # evaluate_vectors/is_feasible/feasible_mask) defaults to robust evaluation
         # over this scenario set — how the optimizers become scenario-robust for free.
         self._bound: Optional[Tuple[ScenarioSet, RobustAggregator]] = None
+        # Shared-memory arena backing the compiled replay state (see share_memory).
+        self._shm_arena: Optional[ShmArena] = None
         if self.problem.scenarios is not None:
             self.bind_scenarios(self.problem.scenarios, self.problem.aggregator)
 
@@ -249,6 +252,35 @@ class QualityEvaluator:
     def unbind_scenarios(self) -> None:
         """Return to classic single-workload evaluation."""
         self._bound = None
+
+    # -- shared-memory export --------------------------------------------------------------
+    def share_memory(
+        self,
+        arena: Optional["ShmArena"] = None,
+        n_locations: Optional[int] = None,
+    ) -> "ShmArena":
+        """Export the compiled replay state into shared memory, for forked workers.
+
+        Moves the base performance model's compiled trace arrays and Δ lookup
+        tables — plus those of every bound scenario's view — into ``arena``-backed
+        shared memory, so worker processes forked afterwards score plan matrices
+        against physically shared read-only pages instead of copy-on-write
+        duplicates.  Results are bitwise identical to the private-memory path.
+        Returns the arena (creating one on first use and reusing it after); the
+        evaluator owns it for its lifetime.
+        """
+        if arena is None:
+            arena = self._shm_arena if self._shm_arena is not None else ShmArena()
+        if n_locations is None:
+            locations = self.performance.network.locations()
+            n_locations = (max(locations) + 1) if locations else 1
+        self.performance.share_memory(arena, n_locations)
+        if self._bound is not None:
+            for spec in self._bound[0]:
+                context = self._scenario_context(spec)
+                context.performance.share_memory(arena, n_locations)
+        self._shm_arena = arena
+        return arena
 
     @property
     def bound_scenarios(self) -> Optional[ScenarioSet]:

@@ -21,6 +21,7 @@ Everything Atlas consumes comes from the :class:`~repro.telemetry.server.Telemet
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -419,8 +420,13 @@ class Atlas:
         aggregator: Optional[RobustAggregator] = None,
         problem: Optional[PlacementProblem] = None,
         certify: Union[None, bool, int] = None,
+        parallel: Optional[int] = None,
     ) -> Recommendation:
         """Run the DRL-based genetic search and return the Pareto-optimal plans.
+
+        ``parallel`` runs the search as W forked islands over shared-memory compiled
+        state (see ``optimizer/parallel.py``): deterministic per ``(seed, W)``, and
+        ``parallel=1`` (or ``None``) is byte-identical to the serial search.
 
         ``problem`` is the declarative front door: a
         :class:`~repro.quality.problem.PlacementProblem` bundling the K objectives,
@@ -479,6 +485,8 @@ class Atlas:
         scenario_set = problem.scenarios
         bound_aggregator = evaluator.bound_aggregator
         config = ga_config or self.config.ga
+        if parallel is not None and int(parallel) > 1:
+            config = dataclasses.replace(config, islands=int(parallel))
         ga = AtlasGA(
             evaluator,
             self.application.component_names,

@@ -1,0 +1,122 @@
+"""Budget edge cases of the adversarial scenario search (``ScenarioAdversary``).
+
+The budget contract under test (see ``ScenarioAdversary.certify``'s docstring):
+
+- an invalid budget is rejected at construction, not at certify time;
+- the factory stress families (and caller-supplied ``extra_specs``) are *always*
+  scored, even when that alone exceeds the budget — only the coordinate descent
+  and the random exploration are metered;
+- distinct specs are deduplicated by compiled identity, so a duplicated spec
+  never double-bills the budget;
+- with neutral bounds (every knob pinned to 1.0, no outages) the searchable
+  space collapses to the baseline, and the miss guard stops the random phase
+  instead of spinning — ``budget_spent`` stays at the seed count.
+"""
+
+import pytest
+from fingerprints import build_tiny_evaluator, fingerprint_certificate
+
+from repro.cluster import MigrationPlan
+from repro.quality import (
+    AdversaryBounds,
+    ScenarioAdversary,
+    ScenarioFactory,
+    ScenarioSpec,
+)
+
+#: All knobs pinned to their neutral value: the descent grid and the random
+#: sampler can only produce baseline-equivalent specs, which compile to None.
+NEUTRAL_BOUNDS = AdversaryBounds(
+    max_rate_scale=1.0,
+    max_payload_scale=1.0,
+    max_latency_factor=1.0,
+    min_bandwidth_factor=1.0,
+    max_price_factor=1.0,
+    min_capacity_fraction=1.0,
+    allow_outages=False,
+)
+
+
+@pytest.fixture(scope="module")
+def adversary_stack(tiny_telemetry):
+    app, result = tiny_telemetry
+    telemetry = result.telemetry
+
+    def build():
+        return build_tiny_evaluator(app, telemetry)
+
+    evaluator = build()
+    plan = MigrationPlan.from_vector(app.component_names, [0, 1, 0, 1, 0, 0])
+    seeds = [
+        spec
+        for spec in ScenarioFactory.from_evaluator(evaluator).stress_families(
+            include_baseline=False
+        )
+    ]
+    return build, plan, seeds
+
+
+class TestAdversaryBudget:
+    def test_invalid_budget_rejected_at_construction(self, adversary_stack):
+        build, _, _ = adversary_stack
+        evaluator = build()
+        with pytest.raises(ValueError, match="budget"):
+            ScenarioAdversary(evaluator, budget=0)
+        with pytest.raises(ValueError, match="budget"):
+            ScenarioAdversary(evaluator, budget=-5)
+
+    def test_families_always_scored_even_beyond_budget(self, adversary_stack):
+        """budget=1 < family count: every family is still scored and reported."""
+        build, plan, seeds = adversary_stack
+        assert len(seeds) > 1  # the premise: seeds alone exceed the budget
+        certificate = ScenarioAdversary(build(), budget=1, seed=0).certify(plan)
+        assert certificate.budget_spent == len(seeds)
+        assert set(certificate.family_regrets) == {spec.name for spec in seeds}
+        # With the budget exhausted by the seeds, the worst case is one of them.
+        assert certificate.worst_regret == max(
+            certificate.family_regrets.values()
+        )
+
+    def test_budget_caps_descent_and_random_spend(self, adversary_stack):
+        build, plan, seeds = adversary_stack
+        budget = len(seeds) + 8
+        certificate = ScenarioAdversary(build(), budget=budget, seed=0).certify(
+            plan
+        )
+        assert certificate.budget_spent == budget
+
+    def test_duplicate_extra_specs_never_double_bill(self, adversary_stack):
+        """A spec already seeded by the factory deduplicates by compiled identity."""
+        build, plan, seeds = adversary_stack
+        plain = ScenarioAdversary(build(), budget=1, seed=0).certify(plan)
+        duplicated = ScenarioAdversary(
+            build(), budget=1, seed=0, extra_specs=(seeds[0], seeds[0])
+        ).certify(plan)
+        assert duplicated.budget_spent == plain.budget_spent
+        # A genuinely new spec bills exactly one evaluation.
+        drift = ScenarioSpec(name="drift-refresh", rate_scale=1.7)
+        extended = ScenarioAdversary(
+            build(), budget=1, seed=0, extra_specs=(drift,)
+        ).certify(plan)
+        assert extended.budget_spent == plain.budget_spent + 1
+        assert "drift-refresh" in extended.family_regrets
+
+    def test_neutral_bounds_terminate_via_miss_guard(self, adversary_stack):
+        """Collapsed search space: spend stays at the seed count, never hangs."""
+        build, plan, seeds = adversary_stack
+        adversary = ScenarioAdversary(
+            build(), bounds=NEUTRAL_BOUNDS, budget=64, seed=0
+        )
+        certificate = adversary.certify(plan)
+        assert certificate.budget_spent == len(seeds) < 64
+
+    def test_certificate_deterministic_across_budget_edges(self, adversary_stack):
+        build, plan, _ = adversary_stack
+        for budget in (1, 9):
+            first = ScenarioAdversary(build(), budget=budget, seed=4).certify(plan)
+            second = ScenarioAdversary(build(), budget=budget, seed=4).certify(
+                plan
+            )
+            assert fingerprint_certificate(first) == fingerprint_certificate(
+                second
+            )

@@ -18,6 +18,7 @@ Four laws anchor the robustness layer:
 """
 
 import pytest
+from fingerprints import fingerprint_certificate, fingerprint_scenario_entries
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -370,12 +371,9 @@ class TestFaultFreeIdentity:
         want = isolated.evaluate_vectors(vectors, scenarios=plain)
         got = contaminated.evaluate_vectors(vectors, scenarios=mixed)
         for a, b in zip(want, got):
-            for name in ("observed", "burst"):
-                entry_a = next(s for s in a.scenarios if s.scenario == name)
-                entry_b = next(s for s in b.scenarios if s.scenario == name)
-                assert repr(entry_a.objectives()) == repr(entry_b.objectives())
-                assert entry_a.feasible == entry_b.feasible
-                assert entry_a.violations == entry_b.violations
+            assert fingerprint_scenario_entries(
+                a, ("observed", "burst")
+            ) == fingerprint_scenario_entries(b, ("observed", "burst"))
 
     def test_baseline_spec_with_fault_is_not_baseline(self):
         assert ScenarioSpec(name="x").is_baseline
@@ -465,10 +463,7 @@ class TestAdversary:
         plan = _plan(app, [0, 1, 0, 2, 0, 1])
         a = ScenarioAdversary(build_evaluator(), budget=16, seed=7).certify(plan)
         b = ScenarioAdversary(build_evaluator(), budget=16, seed=7).certify(plan)
-        assert a.worst_spec.compile_key() == b.worst_spec.compile_key()
-        assert a.worst_regret == b.worst_regret
-        assert a.worst_values == b.worst_values
-        assert a.budget_spent == b.budget_spent
+        assert fingerprint_certificate(a) == fingerprint_certificate(b)
 
     def test_bounds_validation(self):
         with pytest.raises(ValueError):

@@ -14,6 +14,7 @@ Three laws anchor the multi-location generalization:
 
 import numpy as np
 import pytest
+from fingerprints import fingerprint_qualities, fingerprint_search_result
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -216,14 +217,9 @@ class TestTwoLocationInvariance:
         explicit = AtlasGA(
             build_evaluator(), app.component_names, config, locations=(ON_PREM, CLOUD)
         ).run()
-        assert [q.plan.to_vector() for q in implicit.pareto] == [
-            q.plan.to_vector() for q in explicit.pareto
-        ]
-        assert [q.objectives() for q in implicit.pareto] == [
-            q.objectives() for q in explicit.pareto
-        ]
-        assert implicit.evaluations == explicit.evaluations
-        assert implicit.generations == explicit.generations
+        assert fingerprint_search_result(implicit) == fingerprint_search_result(
+            explicit
+        )
 
     def test_crossover_agent_binary_path_unchanged(self):
         binary = CrossoverAgent(n_components=5, hidden_dims=(8,), seed=4)
@@ -248,7 +244,7 @@ class TestTwoLocationInvariance:
                 locations=locations,
             )
             front = RandomSearchBaseline(context, evaluation_budget=60, seed=2).recommend()
-            return sorted(tuple(q.plan.to_vector()) for q in front)
+            return fingerprint_qualities(front)
 
         assert run((ON_PREM, CLOUD)) == run((0, 1))
 

@@ -24,11 +24,9 @@ Four laws anchor the API redesign:
    the normalized front.
 """
 
-import hashlib
-import json
-
 import numpy as np
 import pytest
+from fingerprints import fingerprint_front, fingerprint_qualities
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -141,13 +139,9 @@ def problem_stack(tiny_telemetry):
     return app, telemetry, build_evaluator
 
 
-def _fingerprint(qualities):
-    payload = [
-        (tuple(q.plan.to_vector()), repr(tuple(q.objectives())), q.feasible, q.violations)
-        for q in qualities
-    ]
-    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
-
+# The canonical fingerprint helper lives in tests/fingerprints.py (one source of
+# truth for every fixed-seed suite).
+_fingerprint = fingerprint_qualities
 
 vectors_strategy = st.lists(
     st.lists(st.integers(min_value=0, max_value=1), min_size=6, max_size=6),
@@ -218,15 +212,7 @@ class TestDefaultStackIdentity:
                 busyness={},
             )
 
-        def nsga_fingerprint(result):
-            return hashlib.sha256(
-                json.dumps(
-                    [
-                        (tuple(p.to_vector()), repr(tuple(o)))
-                        for p, o in zip(result.plans, result.objectives)
-                    ]
-                ).encode()
-            ).hexdigest()
+        nsga_fingerprint = fingerprint_front
 
         legacy_nsga = AffinityNSGA2Baseline(
             context(build_evaluator()), population_size=16, evaluation_budget=160, seed=5

@@ -18,11 +18,9 @@ Three laws anchor the scenario refactor:
    case (alpha→0).
 """
 
-import hashlib
-import json
-
 import numpy as np
 import pytest
+from fingerprints import fingerprint_front, fingerprint_qualities
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -113,12 +111,9 @@ def scenario_stack(tiny_telemetry):
     return app, telemetry, build_evaluator
 
 
-def _fingerprint(qualities):
-    payload = [
-        (tuple(q.plan.to_vector()), repr(q.objectives()), q.feasible, q.violations)
-        for q in qualities
-    ]
-    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+# The canonical fingerprint helper lives in tests/fingerprints.py (one source of
+# truth for every fixed-seed suite).
+_fingerprint = fingerprint_qualities
 
 
 vectors_strategy = st.lists(
@@ -192,15 +187,7 @@ class TestSingleScenarioIdentity:
             evaluation_budget=160,
             seed=5,
         ).recommend()
-        fingerprint = lambda result: hashlib.sha256(
-            json.dumps(
-                [
-                    (tuple(p.to_vector()), repr(tuple(o)))
-                    for p, o in zip(result.plans, result.objectives)
-                ]
-            ).encode()
-        ).hexdigest()
-        assert fingerprint(classic_nsga) == fingerprint(bound_nsga)
+        assert fingerprint_front(classic_nsga) == fingerprint_front(bound_nsga)
 
         classic_random = RandomSearchBaseline(
             context(build_evaluator()), evaluation_budget=150, seed=9
