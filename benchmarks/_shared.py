@@ -23,6 +23,13 @@ from repro.analysis import MethodResult, Testbed, get_testbed, run_methods
 #: Append-run metrics ledger of the scenario-stress / certification benchmarks.
 BENCH_METRICS_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenario_stress.json"
 
+#: Append-run metrics ledger of the evaluation/scenario throughput benchmarks
+#: (wall-clock, plans/sec, engine, workers — the perf trajectory the fused tier
+#: is gated on; rendered by ``benchmarks/report.py``).
+BENCH_EVAL_THROUGHPUT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_eval_throughput.json"
+)
+
 #: Search budget (plans visited) shared by Atlas, the affinity GA and random search.
 SEARCH_BUDGET = 2_500
 
@@ -54,6 +61,11 @@ _methods_cache: Dict[str, Dict[str, MethodResult]] = {}
 def social_testbed() -> Testbed:
     """The social-network evaluation testbed shared by most benchmarks."""
     return get_testbed(**_TESTBED_KWARGS)
+
+
+def fused_testbed() -> Testbed:
+    """The 3-site social-network testbed the fused-engine bar is measured on."""
+    return get_testbed(**_TESTBED_KWARGS, n_locations=3)
 
 
 def hotel_testbed() -> Testbed:

@@ -22,7 +22,12 @@ import time
 
 import numpy as np
 
-from _shared import run_once, social_testbed
+from _shared import (
+    BENCH_EVAL_THROUGHPUT_PATH,
+    persist_run_metrics,
+    run_once,
+    social_testbed,
+)
 
 from repro.analysis import format_table
 from repro.quality import ScenarioSet, ScenarioSpec
@@ -142,6 +147,20 @@ def test_scenario_throughput(benchmark):
         )
     )
     print(f"speedup vs independent evaluators: {speedup:.1f}x")
+    persist_run_metrics(
+        "scenario_throughput",
+        {
+            "engine": "compiled",
+            "workers": 1,
+            "scenarios": len(SCENARIOS),
+            "plans": N_PLANS,
+            "independent_s": round(result["independent_s"], 4),
+            "robust_s": round(result["robust_s"], 4),
+            "robust_plan_scenarios_per_s": round(robust_rate, 1),
+            "speedup": round(speedup, 3),
+        },
+        path=BENCH_EVAL_THROUGHPUT_PATH,
+    )
     # The robust tensor must equal the independent evaluations bitwise, scenario by
     # scenario — objectives, feasibility and violation strings.
     for spec in SCENARIOS:

@@ -1,0 +1,180 @@
+"""Render the persistent ``BENCH_*.json`` ledgers as a markdown perf-trajectory report.
+
+Every throughput/stress benchmark appends one record per run to a repo-root ledger
+(see ``_shared.persist_run_metrics``): wall-clock, plans/sec, engine, workers and
+the git commit it measured.  This script turns those append-only ledgers into the
+perf trajectory of the repository — per bench: the latest run, the best run ever
+recorded, and the regression of latest vs best on the bench's headline metric.
+
+Usage::
+
+    python benchmarks/report.py                  # print markdown to stdout
+    python benchmarks/report.py -o report.md     # also write it to a file (CI artifact)
+
+The headline metric per bench is picked by direction-aware preference: explicit
+speedups first (higher is better), then throughput rates (``*_per_s``, higher),
+then wall-clock seconds (``*_s``/``seconds``, lower).  Runs missing the headline
+metric (older schema revisions) still count toward the run total but not the
+best/latest comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Worsening of latest-vs-best beyond which the trend column flags a regression.
+REGRESSION_THRESHOLD = 0.10
+
+
+def load_ledgers(root: Path = REPO_ROOT) -> List[Dict]:
+    """Every run record of every ``BENCH_*.json`` ledger under ``root`` (sorted by
+    timestamp so "latest" is well-defined even across interleaved ledgers)."""
+    runs: List[Dict] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        for run in payload.get("runs", []) if isinstance(payload, dict) else []:
+            if isinstance(run, dict) and isinstance(run.get("metrics"), dict):
+                runs.append({**run, "ledger": path.name})
+    runs.sort(key=lambda run: str(run.get("timestamp", "")))
+    return runs
+
+
+def headline_metric(metrics: Dict) -> Optional[Tuple[str, bool]]:
+    """(metric key, higher_is_better) for one run's metrics, or None.
+
+    Direction heuristic: speedups and rates improve upward, wall-clock seconds
+    improve downward.  Deterministic across runs of the same bench because the
+    candidates are scanned in sorted key order within each preference tier.
+    """
+    keys = sorted(metrics)
+    numeric = [
+        k for k in keys if isinstance(metrics[k], (int, float)) and k != "workers"
+    ]
+    for key in ("speedup", "fused32_speedup"):
+        if key in numeric:
+            return key, True
+    for key in numeric:
+        if key.endswith("_speedup"):
+            return key, True
+    for key in numeric:
+        if key.endswith("_per_s"):
+            return key, True
+    for key in numeric:
+        if key.endswith("_s") or key == "seconds":
+            return key, False
+    return None
+
+
+def _short_sha(run: Dict) -> str:
+    sha = run.get("git_sha")
+    return str(sha)[:9] if sha else "-"
+
+
+def _day(run: Dict) -> str:
+    return str(run.get("timestamp", ""))[:10] or "-"
+
+
+def build_rows(runs: List[Dict]) -> List[Dict]:
+    """One report row per bench name: latest vs best on the headline metric."""
+    by_bench: Dict[str, List[Dict]] = {}
+    for run in runs:
+        by_bench.setdefault(str(run.get("bench", "?")), []).append(run)
+    rows = []
+    for bench in sorted(by_bench):
+        bench_runs = by_bench[bench]
+        latest = bench_runs[-1]
+        choice = headline_metric(latest["metrics"])
+        if choice is None:
+            rows.append(
+                {
+                    "bench": bench,
+                    "runs": len(bench_runs),
+                    "metric": "-",
+                    "latest": "-",
+                    "best": "-",
+                    "trend": "-",
+                    "sha": _short_sha(latest),
+                    "when": _day(latest),
+                }
+            )
+            continue
+        key, higher = choice
+        scored = [run for run in bench_runs if isinstance(run["metrics"].get(key), (int, float))]
+        best = (max if higher else min)(scored, key=lambda run: run["metrics"][key])
+        latest_value = float(latest["metrics"][key])
+        best_value = float(best["metrics"][key])
+        if best_value != 0:
+            gap = (best_value - latest_value) / abs(best_value)
+            worsening = gap if higher else -gap
+        else:
+            worsening = 0.0
+        if worsening > REGRESSION_THRESHOLD:
+            trend = f"REGRESSION -{worsening:.0%}"
+        elif latest is best or latest_value == best_value:
+            trend = "at best"
+        else:
+            trend = f"-{worsening:.0%} off best"
+        rows.append(
+            {
+                "bench": bench,
+                "runs": len(bench_runs),
+                "metric": f"{key} ({'^' if higher else 'v'})",
+                "latest": f"{latest_value:g}",
+                "best": f"{best_value:g} @ {_short_sha(best)}",
+                "trend": trend,
+                "sha": _short_sha(latest),
+                "when": _day(latest),
+            }
+        )
+    return rows
+
+
+def render_markdown(rows: List[Dict]) -> str:
+    header = ["bench", "runs", "metric", "latest", "best", "trend", "sha", "when"]
+    lines = [
+        "# Benchmark perf trajectory",
+        "",
+        "Rendered from the repo-root `BENCH_*.json` ledgers "
+        "(`benchmarks/_shared.persist_run_metrics`).  `^` = higher is better, "
+        "`v` = lower is better; `trend` compares the latest run to the best "
+        "recorded run of the same bench.",
+        "",
+        "| " + " | ".join(header) + " |",
+        "| " + " | ".join("---" for _ in header) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row[h]) for h in header) + " |")
+    if not rows:
+        lines.append("| _no ledger runs found_ |" + " |" * (len(header) - 1))
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None, help="also write the markdown here"
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory scanned for BENCH_*.json ledgers (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    report = render_markdown(build_rows(load_ledgers(args.root)))
+    print(report, end="")
+    if args.output is not None:
+        args.output.write_text(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -229,6 +229,11 @@ class GAConfig:
     islands: int = 1
     migration_period: int = 10
     migration_elites: int = 2
+    #: Anytime mode: stop once the feasible Pareto front has been *exactly* stable
+    #: for this many consecutive generations (0 = off, run to budget).  Checking
+    #: consumes no RNG, so ``patience=0`` is byte-identical to the historical
+    #: search and any early exit truncates — never alters — the trajectory.
+    patience: int = 0
 
     def __post_init__(self) -> None:
         if self.population_size < 4:
@@ -243,6 +248,8 @@ class GAConfig:
             raise ValueError("migration_period must be >= 1")
         if self.migration_elites < 1:
             raise ValueError("migration_elites must be >= 1")
+        if self.patience < 0:
+            raise ValueError("patience must be >= 0")
 
 
 @dataclass
@@ -264,6 +271,10 @@ class SearchResult:
     all_evaluated: List[PlanQuality] = field(default_factory=list)
     final_population: List[PlanQuality] = field(default_factory=list)
     objective_names: Tuple[str, ...] = ("qperf", "qavai", "qcost")
+    #: Whether the anytime mode (``GAConfig.patience``) cut the run short because
+    #: the front converged before the budget/generation limits were reached.  On
+    #: island runs: whether any island exited early.
+    early_stopped: bool = False
 
     # -- plan selection shortcuts (Figures 12-14) ------------------------------------------
     def _best(self, index: int) -> PlanQuality:
@@ -612,6 +623,9 @@ class AtlasGA:
             population, self.components
         )
         generations = 0
+        early_stopped = False
+        front_signal: Optional[Tuple] = None
+        stall = 0
         while (
             self.evaluator.evaluations < self.config.evaluation_budget
             and generations < self.config.max_generations
@@ -656,6 +670,24 @@ class AtlasGA:
             qualities = [combined_quality[i] for i in survivors]
             if self._migration is not None:
                 self._migration.after_generation(generations, population, qualities)
+            if self.config.patience > 0:
+                # Anytime mode: the convergence signal is the exact multiset of
+                # feasible-front objective vectors (repr keeps full float
+                # precision, so any knee/hypervolume movement changes it).  The
+                # check consumes no RNG — trajectories up to the exit generation
+                # stay byte-identical to a patience-less run.
+                front = pareto_front(
+                    [q for q in qualities if q.feasible], key=lambda q: q.objectives()
+                )
+                signal = tuple(sorted(repr(tuple(q.objectives())) for q in front))
+                if front and signal == front_signal:
+                    stall += 1
+                    if stall >= self.config.patience:
+                        early_stopped = True
+                        break
+                else:
+                    stall = 0
+                front_signal = signal
 
         if self._migration is not None:
             # Keep answering the remaining migration epochs (the schedule is fixed
@@ -673,4 +705,5 @@ class AtlasGA:
             all_evaluated=self.evaluator.evaluated_qualities()[preexisting:],
             final_population=qualities,
             objective_names=self.evaluator.problem.objective_names,
+            early_stopped=early_stopped,
         )

@@ -307,7 +307,7 @@ def run_island_search(ga: "AtlasGA") -> "SearchResult":
         result_plans = channels.empty((islands, capacity, n_genes), np.int64)
         result_counts = channels.empty((islands,), np.int64)
         result_counts[:] = 0
-        result_stats = channels.empty((islands, 2), np.int64)
+        result_stats = channels.empty((islands, 3), np.int64)
         result_stats[:] = 0
         barrier_a = ctx.Barrier(islands)
         barrier_b = ctx.Barrier(islands)
@@ -341,6 +341,7 @@ def run_island_search(ga: "AtlasGA") -> "SearchResult":
                 result_counts[island] = count
                 result_stats[island, 0] = result.evaluations - base_evaluations
                 result_stats[island, 1] = result.generations
+                result_stats[island, 2] = int(result.early_stopped)
 
             return task
 
@@ -360,6 +361,7 @@ def run_island_search(ga: "AtlasGA") -> "SearchResult":
             )
         evaluations = base_evaluations + int(result_stats[:, 0].sum())
         generations = int(result_stats[:, 1].max())
+        early_stopped = bool(result_stats[:, 2].any())
     finally:
         # Drop the local views before unmapping the channel segments.
         migration_plans = migration_counts = None
@@ -377,4 +379,5 @@ def run_island_search(ga: "AtlasGA") -> "SearchResult":
         all_evaluated=evaluator.evaluated_qualities()[preexisting:],
         final_population=[quality for front in island_fronts for quality in front],
         objective_names=evaluator.problem.objective_names,
+        early_stopped=early_stopped,
     )

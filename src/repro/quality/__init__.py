@@ -26,6 +26,7 @@ from .faults import (
     LocationOutage,
     PriceShock,
 )
+from .fused import HAS_NUMBA, FusedProgram
 from .performance import ApiPerformanceModel, DelayInjector, PerformanceEstimate
 from .preferences import MigrationPreferences
 from .problem import (
@@ -65,6 +66,8 @@ from .scenarios import (
 __all__ = [
     "CompiledTraceSet",
     "compile_traces",
+    "FusedProgram",
+    "HAS_NUMBA",
     "DelayInjector",
     "ApiPerformanceModel",
     "PerformanceEstimate",

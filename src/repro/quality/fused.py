@@ -1,0 +1,408 @@
+"""Fused cross-API replay: all compiled trace sets as one level-scheduled program.
+
+:class:`~repro.quality.compiled.CompiledTraceSet` already turned one API's delay
+injection into a handful of vectorized passes, but an S×P robust evaluation still
+launches that kernel once *per API per scenario view* — at A≈30 APIs and S=4
+scenarios the numpy dispatch overhead of those A·S launches dominates the actual
+arithmetic.  This module concatenates every API's compiled arrays into one jumbo
+program over a single global span/edge index space:
+
+* span indices of API ``k`` shift by the running span offset, so one
+  ``(plans, total_spans)`` start/end workspace holds every API's state at once;
+* edge indices shift into per-API *edge segments* of one fused Δ row, so a plan's
+  delays for all APIs live in a single ``(plans, total_edges)`` matrix;
+* level ``L`` of the fused program is the concatenation of every API's level-``L``
+  ops — levels only ever read strictly lower levels and write disjoint spans, and
+  no dependency crosses an API boundary, so merging by level position is exact.
+
+Replaying the fused program executes ``max_levels`` vectorized passes over the big
+workspace instead of ``Σ levels_api`` passes over small ones.  Every elementwise
+operation is identical to the per-API replay (same dtype, same IEEE-754 op order,
+``reduceat`` segments preserved per trace), so the float64 fused replay is
+**bitwise identical** to :meth:`CompiledTraceSet.replay_batch` run per API.
+
+Two faster, tolerance-contracted variants share the layout:
+
+* :meth:`FusedProgram.replay32` runs the same passes in float32 (half the memory
+  traffic); callers must treat it as an approximation of the float64 oracle
+  (objective values agree within ``rtol=1e-5`` on the testbeds).
+* :meth:`FusedProgram.replay_jit` compiles the per-level scatter/gather loops with
+  numba when the optional dependency is importable (``HAS_NUMBA``); the float64
+  kernel preserves the op order, so its output is bitwise equal to :meth:`replay`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .compiled import CompiledTraceSet, ShmArena, _LevelOps
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAS_NUMBA = True
+except ImportError:  # pragma: no cover - the tier-1 environment has no numba
+    numba = None
+    HAS_NUMBA = False
+
+__all__ = ["FusedProgram", "HAS_NUMBA"]
+
+#: Lazily numba-compiled replay kernel (None until first use; requires HAS_NUMBA).
+_JIT_KERNEL = None
+
+
+class _MergedLevel:
+    """One fused level with the sp/ss start ops merged for the numpy replay.
+
+    Indices address the combined ``start|end`` workspace: column ``i`` is span
+    ``i``'s start, column ``total_spans + i`` its end.  Derived lazily (per
+    workspace dtype) from the :class:`_LevelOps` the program is built from.
+    """
+
+    __slots__ = (
+        "mv_tgt",
+        "mv_src",
+        "mv_base",
+        "mv_edge",
+        "el_src",
+        "el_tgt",
+        "el_dur",
+        "ea_tgt",
+        "ea_children",
+        "ea_offsets",
+        "ea_tail",
+    )
+
+
+def _build_jit_kernel():
+    """Compile the per-level scatter/gather loops with numba (float64, op-order
+    preserving: bitwise equal to the numpy passes)."""
+
+    @numba.njit(cache=False)
+    def kernel(
+        deltas,
+        start,
+        end,
+        n_levels,
+        sp_bounds,
+        sp_idx,
+        sp_dep,
+        sp_gap,
+        sp_edge,
+        ss_bounds,
+        ss_idx,
+        ss_dep,
+        ss_gap,
+        ss_edge,
+        el_bounds,
+        el_idx,
+        el_dur,
+        ea_bounds,
+        ea_idx,
+        ea_tail,
+        ea_child_start,
+        ea_children,
+    ):  # pragma: no cover - requires numba (covered by the optional-deps CI job)
+        n_plans = deltas.shape[0]
+        for plan in range(n_plans):
+            for level in range(n_levels):
+                for k in range(sp_bounds[level], sp_bounds[level + 1]):
+                    start[plan, sp_idx[k]] = (
+                        start[plan, sp_dep[k]] + sp_gap[k] + deltas[plan, sp_edge[k]]
+                    )
+                for k in range(ss_bounds[level], ss_bounds[level + 1]):
+                    start[plan, ss_idx[k]] = (
+                        end[plan, ss_dep[k]] + ss_gap[k] + deltas[plan, ss_edge[k]]
+                    )
+                for k in range(el_bounds[level], el_bounds[level + 1]):
+                    end[plan, el_idx[k]] = start[plan, el_idx[k]] + el_dur[k]
+                for k in range(ea_bounds[level], ea_bounds[level + 1]):
+                    best = end[plan, ea_children[ea_child_start[k]]]
+                    for c in range(ea_child_start[k] + 1, ea_child_start[k + 1]):
+                        value = end[plan, ea_children[c]]
+                        if value > best:
+                            best = value
+                    end[plan, ea_idx[k]] = best + ea_tail[k]
+
+    return kernel
+
+
+class FusedProgram:
+    """Every API's compiled trace set, concatenated into one replay program.
+
+    ``compiled_by_api`` maps API name -> its :class:`CompiledTraceSet`;
+    ``api_order`` fixes the segment layout (callers pass the model's sorted API
+    list, so the fused Δ-row layout is deterministic).  The program never copies
+    trace data semantics — only indices shift — and replay results per API segment
+    are bitwise identical to replaying each set on its own.
+    """
+
+    def __init__(
+        self,
+        compiled_by_api: Mapping[str, CompiledTraceSet],
+        api_order: Sequence[str],
+    ) -> None:
+        if not api_order:
+            raise ValueError("cannot fuse an empty API set")
+        self.api_order: Tuple[str, ...] = tuple(api_order)
+        self._edge_segments: Dict[str, Tuple[int, int]] = {}
+        self._trace_segments: Dict[str, Tuple[int, int]] = {}
+        span_offset = 0
+        edge_offset = 0
+        trace_offset = 0
+        root_idx: List[np.ndarray] = []
+        root_start: List[np.ndarray] = []
+        max_levels = max(len(compiled_by_api[api]._levels) for api in self.api_order)
+        staged: List[Dict[str, List[np.ndarray]]] = [
+            {name: [] for name in _LevelOps.__slots__} for _ in range(max_levels)
+        ]
+        for api in self.api_order:
+            compiled = compiled_by_api[api]
+            self._edge_segments[api] = (edge_offset, edge_offset + compiled.n_edges)
+            self._trace_segments[api] = (trace_offset, trace_offset + compiled.n_traces)
+            root_idx.append(compiled._root_idx + span_offset)
+            root_start.append(compiled._root_start)
+            for position, ops in enumerate(compiled._levels):
+                stage = staged[position]
+                stage["sp_idx"].append(ops.sp_idx + span_offset)
+                stage["sp_dep"].append(ops.sp_dep + span_offset)
+                stage["sp_gap"].append(ops.sp_gap)
+                stage["sp_edge"].append(ops.sp_edge + edge_offset)
+                stage["ss_idx"].append(ops.ss_idx + span_offset)
+                stage["ss_dep"].append(ops.ss_dep + span_offset)
+                stage["ss_gap"].append(ops.ss_gap)
+                stage["ss_edge"].append(ops.ss_edge + edge_offset)
+                stage["el_idx"].append(ops.el_idx + span_offset)
+                stage["el_dur"].append(ops.el_dur)
+                stage["ea_idx"].append(ops.ea_idx + span_offset)
+                stage["ea_children"].append(ops.ea_children + span_offset)
+                # Child segments restart per level: rebase this API's offsets onto
+                # the children already accumulated at the same fused level.
+                accumulated = sum(
+                    len(block) for block in stage["ea_children"][:-1]
+                )
+                stage["ea_offsets"].append(ops.ea_offsets + accumulated)
+                stage["ea_tail"].append(ops.ea_tail)
+            span_offset += compiled.n_spans
+            edge_offset += compiled.n_edges
+            trace_offset += compiled.n_traces
+        self.total_spans = span_offset
+        self.total_edges = edge_offset
+        self.total_traces = trace_offset
+        self.root_idx = np.concatenate(root_idx)
+        self.root_start = np.concatenate(root_start)
+        self._levels: List[_LevelOps] = []
+        for stage in staged:
+            ops = _LevelOps()
+            for name in _LevelOps.__slots__:
+                setattr(ops, name, np.concatenate(stage[name]))
+            self._levels.append(ops)
+        self._merged64: List[_MergedLevel] = []
+        self._merged32: List[_MergedLevel] = []
+        self._root_start32: np.ndarray = np.empty(0, dtype=np.float32)
+        self._packed = None
+        self._shm_backed = False
+
+    # -- layout ----------------------------------------------------------------------------
+    def edge_segment(self, api: str) -> Tuple[int, int]:
+        """Half-open column range of one API's edges inside a fused Δ row."""
+        return self._edge_segments[api]
+
+    def trace_segment(self, api: str) -> Tuple[int, int]:
+        """Half-open column range of one API's traces inside a replay result."""
+        return self._trace_segments[api]
+
+    def share_memory(self, arena: "ShmArena") -> None:
+        """Move the fused arrays into ``arena``-backed shared memory (idempotent).
+
+        Mirrors :meth:`CompiledTraceSet.share_memory`: the island-model parallel
+        search exports the fused program before forking, so workers replay against
+        physically shared pages.
+        """
+        if self._shm_backed:
+            return
+        self.root_idx = arena.share(self.root_idx)
+        self.root_start = arena.share(self.root_start)
+        for ops in self._levels:
+            for name in _LevelOps.__slots__:
+                setattr(ops, name, arena.share(getattr(ops, name)))
+        self._shm_backed = True
+
+    # -- replay ----------------------------------------------------------------------------
+    def _merged_levels(self, dtype) -> List["_MergedLevel"]:
+        """Per-level ops with the sp/ss families merged into one scatter (lazy).
+
+        The numpy replay runs over one combined ``start|end`` workspace: column
+        ``i < total_spans`` is span ``i``'s start, column ``total_spans + i`` its
+        end.  A start-from-parent op reads a parent *start* and a start-from-sibling
+        op reads a sibling *end* — both from strictly lower levels with disjoint
+        targets — so one fancy-indexed pass computes every start of the level:
+        ``se[:, tgt] = se[:, src] + base + deltas[:, edge]``.  The elementwise
+        arithmetic (operand order included) is exactly the per-family passes', so
+        the float64 merge stays bitwise identical to per-API replay_batch.
+        """
+        cache = self._merged64 if dtype == np.float64 else self._merged32
+        if cache:
+            return cache
+        shift = self.total_spans
+        for ops in self._levels:
+            level = _MergedLevel()
+            level.mv_tgt = np.concatenate([ops.sp_idx, ops.ss_idx])
+            level.mv_src = np.concatenate([ops.sp_dep, ops.ss_dep + shift])
+            level.mv_base = np.concatenate([ops.sp_gap, ops.ss_gap]).astype(
+                dtype, copy=False
+            )
+            level.mv_edge = np.concatenate([ops.sp_edge, ops.ss_edge])
+            level.el_src = ops.el_idx
+            level.el_tgt = ops.el_idx + shift
+            level.el_dur = ops.el_dur.astype(dtype, copy=False)
+            level.ea_tgt = ops.ea_idx + shift
+            level.ea_children = ops.ea_children + shift
+            level.ea_offsets = ops.ea_offsets
+            level.ea_tail = ops.ea_tail.astype(dtype, copy=False)
+            cache.append(level)
+        return cache
+
+    def _run_levels(
+        self,
+        deltas: np.ndarray,
+        levels: List["_MergedLevel"],
+        root_start: np.ndarray,
+    ) -> np.ndarray:
+        """The level-scheduled passes of :meth:`CompiledTraceSet.replay_batch`,
+        over the fused index space and in the workspace dtype of ``deltas``."""
+        dtype = deltas.dtype
+        n_plans = deltas.shape[0]
+        shift = self.total_spans
+        # Uninitialized is safe: every span start is written by the root scatter or
+        # a merged sp/ss op, every end by an el/ea op, and the level schedule never
+        # reads a slot before the pass that writes it.
+        se = np.empty((n_plans, 2 * shift), dtype=dtype)
+        se[:, self.root_idx] = root_start
+        for ops in levels:
+            if len(ops.mv_tgt):
+                se[:, ops.mv_tgt] = (
+                    se[:, ops.mv_src] + ops.mv_base + deltas[:, ops.mv_edge]
+                )
+            if len(ops.el_tgt):
+                se[:, ops.el_tgt] = se[:, ops.el_src] + ops.el_dur
+            if len(ops.ea_tgt):
+                segment_max = np.maximum.reduceat(
+                    se[:, ops.ea_children], ops.ea_offsets, axis=1
+                )
+                segment_max += ops.ea_tail
+                se[:, ops.ea_tgt] = segment_max
+        return se[:, shift + self.root_idx] - se[:, self.root_idx]
+
+    def _validated(self, delta_rows: np.ndarray, dtype) -> np.ndarray:
+        deltas = np.atleast_2d(np.asarray(delta_rows, dtype=dtype))
+        if deltas.shape[1] != self.total_edges:
+            raise ValueError(
+                f"fused delta rows have {deltas.shape[1]} edges, "
+                f"program has {self.total_edges}"
+            )
+        return deltas
+
+    def replay(self, delta_rows: np.ndarray) -> np.ndarray:
+        """Latency matrix ``(plans, total_traces)`` — float64, bitwise identical to
+        the per-API :meth:`CompiledTraceSet.replay_batch` results, concatenated."""
+        deltas = self._validated(delta_rows, np.float64)
+        return self._run_levels(deltas, self._merged_levels(np.float64), self.root_start)
+
+    def replay32(self, delta_rows: np.ndarray) -> np.ndarray:
+        """Float32 fast path: same passes, half the memory traffic.
+
+        Every trace is rebased to a zero root start: the replay is exactly affine
+        in the root base (it propagates additively through starts, ends and maxes,
+        and ``end - start`` cancels it), but in float32 a ~1e5 ms absolute
+        timestamp base would cost ~4e-3 ms of ulp on every ~1e1 ms latency.
+        Rebasing keeps the result within the advertised ``rtol=1e-5`` of the
+        float64 oracle instead of ~1e-4.
+        """
+        if not len(self._root_start32):
+            self._root_start32 = np.zeros(len(self.root_start), dtype=np.float32)
+        deltas = self._validated(delta_rows, np.float32)
+        return self._run_levels(
+            deltas, self._merged_levels(np.float32), self._root_start32
+        )
+
+    def replay_jit(self, delta_rows: np.ndarray) -> np.ndarray:
+        """Numba-compiled float64 replay — bitwise identical to :meth:`replay`.
+
+        Requires the optional ``numba`` dependency (guarded by ``HAS_NUMBA``); the
+        first call pays the JIT compilation cost.
+        """
+        if not HAS_NUMBA:
+            raise RuntimeError(
+                "FusedProgram.replay_jit requires the optional numba dependency; "
+                "install numba or use replay()/replay32()"
+            )
+        global _JIT_KERNEL
+        if _JIT_KERNEL is None:
+            _JIT_KERNEL = _build_jit_kernel()
+        if self._packed is None:
+            self._packed = self._pack_levels()
+        deltas = np.ascontiguousarray(self._validated(delta_rows, np.float64))
+        n_plans = deltas.shape[0]
+        start = np.zeros((n_plans, self.total_spans), dtype=np.float64)
+        end = np.zeros((n_plans, self.total_spans), dtype=np.float64)
+        start[:, self.root_idx] = self.root_start
+        _JIT_KERNEL(deltas, start, end, len(self._levels), *self._packed)
+        return end[:, self.root_idx] - start[:, self.root_idx]
+
+    def _pack_levels(self) -> Tuple[np.ndarray, ...]:
+        """Flatten the per-level op bundles into bounds-indexed arrays for the JIT
+        kernel (one contiguous array per field + per-level boundaries)."""
+
+        def bounds(counts: List[int]) -> np.ndarray:
+            return np.concatenate(
+                ([0], np.cumsum(np.asarray(counts, dtype=np.int64)))
+            ).astype(np.int64)
+
+        def concat(name: str, dtype) -> np.ndarray:
+            return np.concatenate(
+                [np.asarray(getattr(ops, name)) for ops in self._levels]
+            ).astype(dtype)
+
+        sp_bounds = bounds([len(ops.sp_idx) for ops in self._levels])
+        ss_bounds = bounds([len(ops.ss_idx) for ops in self._levels])
+        el_bounds = bounds([len(ops.el_idx) for ops in self._levels])
+        ea_bounds = bounds([len(ops.ea_idx) for ops in self._levels])
+        # Global child segments: per ea op, [ea_child_start[k], ea_child_start[k+1])
+        # indexes the packed ea_children array.
+        child_start: List[int] = []
+        children: List[np.ndarray] = []
+        base = 0
+        for ops in self._levels:
+            offsets = np.asarray(ops.ea_offsets, dtype=np.int64)
+            child_start.extend((offsets + base).tolist())
+            children.append(np.asarray(ops.ea_children, dtype=np.int64))
+            base += len(ops.ea_children)
+        ea_child_start = np.asarray(child_start + [base], dtype=np.int64)
+        ea_children = (
+            np.concatenate(children).astype(np.int64)
+            if children
+            else np.zeros(0, dtype=np.int64)
+        )
+        return (
+            sp_bounds,
+            concat("sp_idx", np.int64),
+            concat("sp_dep", np.int64),
+            concat("sp_gap", np.float64),
+            concat("sp_edge", np.int64),
+            ss_bounds,
+            concat("ss_idx", np.int64),
+            concat("ss_dep", np.int64),
+            concat("ss_gap", np.float64),
+            concat("ss_edge", np.int64),
+            el_bounds,
+            concat("el_idx", np.int64),
+            concat("el_dur", np.float64),
+            ea_bounds,
+            concat("ea_idx", np.int64),
+            concat("ea_tail", np.float64),
+            ea_child_start,
+            ea_children,
+        )

@@ -55,8 +55,16 @@ from ..learning.footprint import NetworkFootprint
 from ..apps.model import ExecutionMode
 from ..telemetry.tracing import Span, Trace
 from .compiled import CompiledTraceSet, ShmArena
+from .fused import HAS_NUMBA, FusedProgram
 
 __all__ = ["DelayInjector", "ApiPerformanceModel", "PerformanceEstimate"]
+
+#: Engines that evaluate plan matrices through the fused cross-API program.
+#: ``"fused"`` replays in float64 (bitwise equal to ``"compiled"``), ``"fused32"``
+#: in float32 (tolerance-contracted against the float64 oracle), ``"fused-jit"``
+#: through the optional numba kernel (float64, bitwise equal to ``"fused"``).
+_FUSED_ENGINES = ("fused", "fused32", "fused-jit")
+_ENGINES = ("compiled", "reference") + _FUSED_ENGINES
 
 Edge = Tuple[str, str]
 #: Canonical cache key for one plan's per-edge delays: the cut-edge signature.
@@ -158,10 +166,24 @@ class PerformanceEstimate:
 class ApiPerformanceModel:
     """Estimates per-API latency and the QPerf objective for any migration plan.
 
-    ``engine`` selects how cache-missing delay signatures are replayed: ``"compiled"``
-    (default) uses the vectorized compiled trace sets, ``"reference"`` walks every
-    trace with the recursive :class:`DelayInjector`.  Both engines share the same
-    projection/signature caches and produce identical numbers.
+    ``engine`` selects how cache-missing delay signatures are replayed:
+
+    * ``"compiled"`` (default) — vectorized per-API compiled trace sets;
+    * ``"reference"`` — the recursive :class:`DelayInjector` oracle, trace by trace;
+    * ``"fused"`` — all APIs concatenated into one cross-API program
+      (:class:`~repro.quality.fused.FusedProgram`); plan-matrix evaluation becomes a
+      single replay pass per generation, bitwise identical to ``"compiled"``;
+    * ``"fused32"`` — the fused program in float32: objective values agree with the
+      float64 oracle within ``rtol=1e-5`` on the testbeds (feasibility masks and
+      Pareto ranks must agree exactly — enforced by the test suite), means are
+      cached separately so float32 never leaks into the float64 caches;
+    * ``"fused-jit"`` — the fused program through an optional numba kernel (raises
+      ``RuntimeError`` at construction when numba is not installed); float64 and
+      bitwise identical to ``"fused"``.
+
+    All engines share the projection/signature caches; the scalar per-plan paths
+    (``estimate``, ``qperf``) always go through the float64 compiled oracle, so the
+    fused engines only change how whole plan matrices are scored.
     """
 
     def __init__(
@@ -175,8 +197,13 @@ class ApiPerformanceModel:
     ) -> None:
         if traces_per_api <= 0:
             raise ValueError("traces_per_api must be positive")
-        if engine not in ("compiled", "reference"):
-            raise ValueError("engine must be 'compiled' or 'reference'")
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}")
+        if engine == "fused-jit" and not HAS_NUMBA:
+            raise RuntimeError(
+                "engine='fused-jit' requires the optional numba dependency; "
+                "install numba or use engine='fused'"
+            )
         self.footprint = footprint
         self.network = network
         self.baseline_plan = baseline_plan
@@ -220,10 +247,20 @@ class ApiPerformanceModel:
         self._delta_tables: Dict[
             str, Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
         ] = {}
+        # Fused-engine whole-row Δ gather state, per component order: the per-API
+        # tables concatenated along the fused edge axis (view-owned, like the
+        # tables it derives from).
+        self._fused_deltas: Dict[Tuple[str, ...], Tuple] = {}
         # Matrix-pipeline result cache: per API, raw Δ-row bytes -> mean latency.
         # (The replay is deterministic, so this holds the same numbers as the
         # signature cache without paying for per-row signature tuples.)
         self._row_means: Dict[str, Dict[bytes, float]] = {}
+        # Fused-engine state, shared by reference with every scenario view (the
+        # fused program depends only on the compiled trace sets, which views
+        # share): "program" -> FusedProgram, "row_means32" -> per-API float32
+        # mean caches (kept apart from _row_means — float32 means must never
+        # leak into the float64 oracle caches).
+        self._fused_state: Dict[str, object] = {}
         # Set on scenario views: APIs whose footprint bytes differ from the base
         # model's (None = unknown/all).  The base model changes nothing.
         self._changed_apis: Optional[frozenset] = frozenset()
@@ -274,6 +311,7 @@ class ApiPerformanceModel:
             view.network = network
         view._delays_by_projection = {}
         view._delta_tables = {}
+        view._fused_deltas = {}
         view._shm_locations = 0
         view._changed_apis = (
             frozenset(changed_apis) if changed_apis is not None else None
@@ -299,6 +337,11 @@ class ApiPerformanceModel:
             if model is not None:
                 members.append(model)
         self._family[:] = [weakref.ref(model) for model in members]
+        # The fused program concatenates every API's compiled arrays, so any
+        # invalidation obsoletes it wholesale; the float32 mean caches go with it
+        # (conservative for targeted invalidations, always correct).  The dict is
+        # shared by reference with every view — one clear reaches the family.
+        self._fused_state.clear()
         if apis is None:
             self._compiled.clear()
             self._by_signature.clear()
@@ -306,6 +349,7 @@ class ApiPerformanceModel:
             for model in members:
                 model._delays_by_projection.clear()
                 model._delta_tables.clear()
+                model._fused_deltas.clear()
                 model._shm_locations = 0
             return
         targets = set(apis)
@@ -320,6 +364,9 @@ class ApiPerformanceModel:
         for model in members:
             purge(model._delays_by_projection, lambda key: key[0])
             purge(model._delta_tables, lambda key: key)
+            # The fused gather concatenates the per-API tables — derived state,
+            # dropped wholesale and rebuilt cheaply on the next fused evaluation.
+            model._fused_deltas.clear()
             model._shm_locations = 0
 
     # -- shared-memory export --------------------------------------------------------------
@@ -348,6 +395,8 @@ class ApiPerformanceModel:
                 arena.share(src_pos),
                 arena.share(dst_pos),
             )
+        if self.is_fused:
+            self._fused_program().share_memory(arena)
         self._shm_locations = n_locations
 
     # -- public API ------------------------------------------------------------------------
@@ -429,7 +478,9 @@ class ApiPerformanceModel:
         signature = self._signature(delays)
         cached = self._by_signature.get((api, signature))
         if cached is None:
-            if self.engine == "compiled":
+            if self.engine != "reference":
+                # All vectorized engines resolve scalar queries through the float64
+                # compiled oracle — fused engines only change matrix evaluation.
                 latencies = self._compiled_set(api).latencies(delays)
             else:
                 latencies = self._replay_reference(api, delays)
@@ -442,13 +493,13 @@ class ApiPerformanceModel:
         """Replay every cache-missing delay signature of one API (batched when compiled)."""
         if not pending:
             return
-        if self.engine != "compiled":
+        if self.engine == "reference":
             for signature, delays in pending.items():
                 self._store_signature(api, signature, self._replay_reference(api, delays))
             return
         compiled = self._compiled_set(api)
         signatures = list(pending)
-        rows = np.vstack([compiled.delta_row(pending[s]) for s in signatures])
+        rows = compiled.delta_rows([pending[s] for s in signatures])
         matrix = compiled.replay_batch(rows)
         for signature, row in zip(signatures, matrix):
             self._store_signature(api, signature, [float(v) for v in row])
@@ -533,15 +584,14 @@ class ApiPerformanceModel:
             self._delta_tables[api] = cached
         return cached
 
-    def _means_for(
+    def _delta_rows_for(
         self, api: str, matrix: np.ndarray, columns: np.ndarray
     ) -> np.ndarray:
-        """Per-plan mean injected latency of one API over a plan matrix.
+        """Per-plan Δ rows of one API over a plan matrix: ``(plans, api edges)``.
 
-        Projects the matrix onto the API's touched columns, gathers each distinct
-        projection's per-edge Δ row from the API's delta table (all cache-missing
-        signatures replay in one vectorized batch) and broadcasts the cached means
-        back to the plan axis.
+        Projects the matrix onto the API's touched columns and gathers each plan's
+        per-edge Δ row from the API's delta table (zero-clipped, exactly the
+        ``delta_row`` values of the scalar path).
         """
         edges = self._edges[api]
         if edges and columns.size:
@@ -563,9 +613,77 @@ class ApiPerformanceModel:
                 self._compute_edge_delays(
                     api, dict(zip(self._touched[api], (int(v) for v in sub[bad])))
                 )
-            rows = np.where(deltas > 0.0, deltas, 0.0)
-        else:
-            rows = np.zeros((matrix.shape[0], 0), dtype=np.float64)
+            return np.where(deltas > 0.0, deltas, 0.0)
+        return np.zeros((matrix.shape[0], 0), dtype=np.float64)
+
+    def _fused_delta_rows(
+        self,
+        matrix: np.ndarray,
+        components: Sequence[str],
+        program: FusedProgram,
+    ) -> Optional[np.ndarray]:
+        """Whole-row fused Δ gather: every API's Δ rows in one table lookup.
+
+        Concatenates the per-API Δ tables along the fused edge axis (cached per
+        component order, regrown with the location count) so a full
+        ``(plans, total_edges)`` Δ matrix is one fancy-indexed gather instead of
+        one :meth:`_delta_rows_for` call per API.  Segment ``lo:hi`` of the result
+        is bitwise identical to the per-API gather — same table entries, same
+        zero clip.  Returns None when a plan touches a linkless location pair;
+        callers then fall back to the per-API path, which raises the exact
+        missing-link error of the scalar pipeline.
+        """
+        n_locations = int(matrix.max()) + 1
+        key = tuple(components)
+        cached = self._fused_deltas.get(key)
+        if cached is None or cached[0] < n_locations:
+            for api in self._apis:
+                table_cached = self._delta_tables.get(api)
+                if table_cached is not None:
+                    n_locations = max(n_locations, table_cached[0])
+            columns = self._columns_for(components)
+            tables: List[np.ndarray] = []
+            missing_parts: List[np.ndarray] = []
+            src_cols: List[np.ndarray] = []
+            dst_cols: List[np.ndarray] = []
+            for api in self._apis:
+                _size, table, missing, src_pos, dst_pos = self._delta_table(
+                    api, n_locations
+                )
+                tables.append(table)
+                missing_parts.append(missing)
+                src_cols.append(columns[api][src_pos])
+                dst_cols.append(columns[api][dst_pos])
+            fused_missing = np.concatenate(missing_parts)
+            cached = (
+                n_locations,
+                np.concatenate(tables),
+                fused_missing if fused_missing.any() else None,
+                np.concatenate(src_cols),
+                np.concatenate(dst_cols),
+                np.arange(program.total_edges)[None, :],
+            )
+            self._fused_deltas[key] = cached
+        _size, table, missing, src, dst, edge_axis = cached
+        src_locs = matrix[:, src]
+        dst_locs = matrix[:, dst]
+        deltas = table[edge_axis, src_locs, dst_locs]
+        if missing is not None and missing[edge_axis, src_locs, dst_locs].any():
+            return None
+        return np.where(deltas > 0.0, deltas, 0.0)
+
+    def _means_for(
+        self, api: str, matrix: np.ndarray, columns: np.ndarray
+    ) -> np.ndarray:
+        """Per-plan mean injected latency of one API over a plan matrix.
+
+        Projects the matrix onto the API's touched columns, gathers each distinct
+        projection's per-edge Δ row from the API's delta table (all cache-missing
+        signatures replay in one vectorized batch) and broadcasts the cached means
+        back to the plan axis.
+        """
+        edges = self._edges[api]
+        rows = self._delta_rows_for(api, matrix, columns)
         # Dedup at the Δ-row level (the cut-edge signature), keyed by the raw row
         # bytes: the thousands of plans of a generation collapse to the distinct rows
         # that actually replay, and repeat generations hit the mean cache outright.
@@ -584,7 +702,7 @@ class ApiPerformanceModel:
                 unknown[key] = plan_index
         if unknown:
             distinct = list(unknown.values())
-            if self.engine == "compiled":
+            if self.engine != "reference":
                 replayed = self._compiled_set(api).replay_batch(rows[distinct])
             else:
                 replayed = [
@@ -606,6 +724,203 @@ class ApiPerformanceModel:
             means[plan_index] = cache[key]
         return means
 
+    # -- fused cross-API pipeline -----------------------------------------------------------
+    @property
+    def is_fused(self) -> bool:
+        """Whether plan matrices are evaluated through the fused cross-API program."""
+        return self.engine in _FUSED_ENGINES
+
+    def _fused_program(self) -> FusedProgram:
+        """The cross-API fused program, built lazily and shared with every view."""
+        program = self._fused_state.get("program")
+        if program is None:
+            program = FusedProgram(
+                {api: self._compiled_set(api) for api in self._apis}, self._apis
+            )
+            self._fused_state["program"] = program
+        return program
+
+    def _fused_mean_cache(self, api: str) -> Dict[bytes, float]:
+        """The Δ-row-bytes -> mean cache a fused replay fills for one API.
+
+        float64 fused engines share ``_row_means`` with the compiled path (their
+        replayed segments are bitwise identical, so the cached numbers coincide);
+        ``fused32`` keeps its approximate means in a separate family-shared cache.
+        """
+        if self.engine == "fused32":
+            caches = self._fused_state.setdefault("row_means32", {})
+            return caches.setdefault(api, {})
+        return self._row_means.setdefault(api, {})
+
+    def _fused_replay(self, program: FusedProgram, rows: np.ndarray) -> np.ndarray:
+        if self.engine == "fused32":
+            return program.replay32(rows)
+        if self.engine == "fused-jit":
+            return program.replay_jit(rows)
+        return program.replay(rows)
+
+    def impact_matrices_multi(
+        self,
+        views: Sequence["ApiPerformanceModel"],
+        plan_matrix: np.ndarray,
+        components: Sequence[str],
+    ) -> Dict[int, np.ndarray]:
+        """Impact matrices of every distinct view over one plan matrix, in one pass.
+
+        The fused engines' core: each distinct view's per-API Δ rows are gathered
+        into one ``(plans, total_edges)`` fused matrix, every cache-missing
+        ``(api, Δ-row)`` combination across *all* views and APIs replays in a single
+        fused kernel launch, and the per-API mean caches broadcast the results back.
+        Returns ``{id(view): (apis, plans) impact matrix}`` — the cache layout of
+        the robust-evaluation pipeline.  Payload-neutral APIs of a scenario view
+        produce byte-identical Δ segments, so they hit the cache instead of
+        replaying, which subsumes the ``base_impacts`` row-copy optimization of
+        :meth:`impact_matrix`.
+        """
+        matrix = np.asarray(plan_matrix, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(components):
+            raise ValueError("plan matrix must be (plans, len(components))")
+        distinct: List["ApiPerformanceModel"] = []
+        for view in views:
+            if all(view is not seen for seen in distinct):
+                distinct.append(view)
+        n_plans = matrix.shape[0]
+        n_apis = len(self._apis)
+        if n_plans == 0:
+            return {
+                id(view): np.empty((n_apis, 0), dtype=np.float64) for view in distinct
+            }
+        program = self._fused_program()
+        caches = {api: self._fused_mean_cache(api) for api in self._apis}
+        # Cache-missing (api, Δ-row) tasks, deduped per API across every view —
+        # the same projection dedup the compiled path exploits.  API segments of
+        # the fused program never interact, so independent tasks of different APIs
+        # pack into the *same* replay row: the batch height is the largest per-API
+        # task count, not the number of distinct plans.
+        pending_keys: Dict[str, List[bytes]] = {api: [] for api in self._apis}
+        pending_fill: Dict[str, List[Tuple[np.ndarray, List[int]]]] = {
+            api: [] for api in self._apis
+        }
+        # An API a view's scenario does not payload-scale has Δ rows byte-identical
+        # to the base model's, so its gather, plan keys and mean vector are shared
+        # across every such view (the fused analogue of impact_matrix's
+        # base_impacts row copy).  Views on a faulted network report
+        # _changed_apis=None and opt out of the sharing.
+        segment_keys: Dict[object, List[bytes]] = {}
+        view_groups: List[Tuple["ApiPerformanceModel", List[object]]] = []
+        for view in distinct:
+            columns: Optional[Dict[str, np.ndarray]] = None
+            groups: List[object] = []
+            fresh: List[Tuple[str, object]] = []
+            for api in self._apis:
+                shared = (
+                    view._changed_apis is not None and api not in view._changed_apis
+                )
+                group = api if shared else (api, id(view))
+                groups.append(group)
+                if group not in segment_keys:
+                    fresh.append((api, group))
+            view_groups.append((view, groups))
+            # A view needing every API (typically the base view) gathers all its
+            # Δ rows in one fused table lookup; views needing only their changed
+            # APIs gather per API.
+            full_rows = (
+                view._fused_delta_rows(matrix, components, program)
+                if len(fresh) == n_apis
+                else None
+            )
+            if full_rows is not None:
+                # One serialization of the whole fused matrix; per-API keys are
+                # byte slices of it (C-contiguous, so segment columns are
+                # contiguous within each row's byte span).
+                row_bytes = full_rows.tobytes()
+                row_size = full_rows.shape[1] * 8
+            for api, group in fresh:
+                if full_rows is not None:
+                    lo, hi = program.edge_segment(api)
+                    seg_rows = full_rows[:, lo:hi]
+                    keys = [
+                        row_bytes[plan * row_size + lo * 8 : plan * row_size + hi * 8]
+                        for plan in range(n_plans)
+                    ]
+                else:
+                    if columns is None:
+                        columns = view._columns_for(components)
+                    seg_rows = np.ascontiguousarray(
+                        view._delta_rows_for(api, matrix, columns[api])
+                    )
+                    buffer = seg_rows.tobytes()
+                    width = seg_rows.shape[1] * 8  # float64 bytes per Δ segment
+                    keys = [
+                        buffer[plan * width : (plan + 1) * width]
+                        for plan in range(n_plans)
+                    ]
+                segment_keys[group] = keys
+                cache = caches[api]
+                queued = set(pending_keys[api])
+                misses: List[int] = []
+                for plan, key in enumerate(keys):
+                    if key not in cache and key not in queued:
+                        queued.add(key)
+                        misses.append(plan)
+                if misses:
+                    pending_fill[api].append((seg_rows, misses))
+                    pending_keys[api].extend(keys[plan] for plan in misses)
+        n_batch = max((len(keys) for keys in pending_keys.values()), default=0)
+        if n_batch:
+            batch_dtype = np.float32 if self.engine == "fused32" else np.float64
+            batch = np.zeros((n_batch, program.total_edges), dtype=batch_dtype)
+            for api, blocks in pending_fill.items():
+                lo, hi = program.edge_segment(api)
+                index = 0
+                for seg_rows, plans in blocks:
+                    batch[index : index + len(plans), lo:hi] = seg_rows[plans]
+                    index += len(plans)
+            latencies = self._fused_replay(program, batch)
+            for api, keys in pending_keys.items():
+                if not keys:
+                    continue
+                t0, t1 = program.trace_segment(api)
+                cache = caches[api]
+                if self.engine == "fused32":
+                    # The float32 tier is bound by the rtol contract, not bitwise
+                    # identity — one vectorized float64-accumulated mean per API.
+                    means = latencies[: len(keys), t0:t1].mean(
+                        axis=1, dtype=np.float64
+                    )
+                    for index, key in enumerate(keys):
+                        cache[key] = float(means[index])
+                else:
+                    for index, key in enumerate(keys):
+                        # fmean is fsum-based over np.float64 scalars, matching
+                        # _means_for bit for bit on the float64 engines.
+                        cache[key] = float(statistics.fmean(latencies[index, t0:t1]))
+        # One impact row per distinct Δ segment; views sharing a segment share it.
+        impact_rows: Dict[object, np.ndarray] = {}
+        for index, api in enumerate(self._apis):
+            baseline = self._baseline_mean[api]
+            cache = caches[api]
+            for group, keys in segment_keys.items():
+                if (group if isinstance(group, str) else group[0]) != api:
+                    continue
+                if baseline > 0:
+                    row = np.fromiter(
+                        (cache[key] for key in keys),
+                        dtype=np.float64,
+                        count=n_plans,
+                    )
+                    row /= baseline
+                else:
+                    row = np.ones(n_plans, dtype=np.float64)
+                impact_rows[group] = row
+        results: Dict[int, np.ndarray] = {}
+        for view, groups in view_groups:
+            impacts = np.empty((n_apis, n_plans), dtype=np.float64)
+            for index, group in enumerate(groups):
+                impacts[index] = impact_rows[group]
+            results[id(view)] = impacts
+        return results
+
     def impact_matrix(
         self,
         plan_matrix: np.ndarray,
@@ -624,6 +939,10 @@ class ApiPerformanceModel:
         (``scenario_view(..., changed_apis=...)``), unchanged APIs' rows are copied
         from it — their Δ rows would be byte-identical anyway.
         """
+        if self.is_fused:
+            # Fused engines score matrices through the cross-API program; the
+            # byte-keyed mean caches subsume the base_impacts row copy.
+            return self.impact_matrices_multi([self], plan_matrix, components)[id(self)]
         matrix = np.asarray(plan_matrix, dtype=np.int64)
         if matrix.ndim != 2 or matrix.shape[1] != len(components):
             raise ValueError("plan matrix must be (plans, len(components))")
@@ -656,7 +975,18 @@ class ApiPerformanceModel:
 
         Accumulates API by API in the scalar iteration order, so the result is
         bitwise equal to :meth:`qperf_batch` (and per-plan ``qperf``) whatever the
-        weights."""
+        weights.  The float32 tier is bound by the rtol contract instead and takes
+        one BLAS-reassociated weighted sum."""
+        if self.engine == "fused32":
+            weights = np.fromiter(
+                (
+                    api_weights.get(api, 1.0) if api_weights else 1.0
+                    for api in self._apis
+                ),
+                dtype=np.float64,
+                count=len(self._apis),
+            )
+            return (weights @ impacts) / len(self._apis)
         totals = np.zeros(impacts.shape[1], dtype=np.float64)
         for index, api in enumerate(self._apis):
             weight = api_weights.get(api, 1.0) if api_weights else 1.0

@@ -346,9 +346,13 @@ class Atlas:
         ``expected_scale`` scales the observed traffic (the paper's 5x burst); passing
         explicit ``api_rates`` overrides it with any expected traffic forecast.
         ``performance_engine`` selects the delay-injection engine: the vectorized
-        ``"compiled"`` replay (default) or the recursive ``"reference"`` oracle — both
-        produce identical numbers (the benchmarks use the oracle as the per-plan
-        comparison point).
+        ``"compiled"`` replay (default), the recursive ``"reference"`` oracle (both
+        produce identical numbers; the benchmarks use the oracle as the per-plan
+        comparison point), or the fused cross-API tier — ``"fused"`` (one replay
+        pass per generation, bitwise identical to ``"compiled"``), ``"fused32"``
+        (float32 scoring within rtol=1e-5 of the float64 oracle) and
+        ``"fused-jit"`` (optional numba kernel, bitwise identical to ``"fused"``,
+        raises ``RuntimeError`` when numba is not installed).
 
         ``problem`` declares the objective/constraint stack the evaluator executes
         (default: the paper's three objectives under the Eq. 4 constraints — the
@@ -421,12 +425,18 @@ class Atlas:
         problem: Optional[PlacementProblem] = None,
         certify: Union[None, bool, int] = None,
         parallel: Optional[int] = None,
+        anytime: Optional[int] = None,
     ) -> Recommendation:
         """Run the DRL-based genetic search and return the Pareto-optimal plans.
 
         ``parallel`` runs the search as W forked islands over shared-memory compiled
         state (see ``optimizer/parallel.py``): deterministic per ``(seed, W)``, and
         ``parallel=1`` (or ``None``) is byte-identical to the serial search.
+
+        ``anytime`` enables converged-front early exit (``GAConfig.patience``): the
+        search stops once the feasible Pareto front has been exactly stable for that
+        many consecutive generations, trading tail generations for wall-clock while
+        leaving the trajectory up to the exit byte-identical.
 
         ``problem`` is the declarative front door: a
         :class:`~repro.quality.problem.PlacementProblem` bundling the K objectives,
@@ -487,6 +497,8 @@ class Atlas:
         config = ga_config or self.config.ga
         if parallel is not None and int(parallel) > 1:
             config = dataclasses.replace(config, islands=int(parallel))
+        if anytime is not None:
+            config = dataclasses.replace(config, patience=int(anytime))
         ga = AtlasGA(
             evaluator,
             self.application.component_names,

@@ -91,6 +91,24 @@ class TestCompiledEquivalence:
         for row, delays in zip(matrix, delay_maps):
             assert [float(v) for v in row] == compiled.latencies(delays)
 
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=20, deadline=None)
+    def test_delta_rows_bitwise_equals_per_plan_delta_row(self, seed):
+        """The vectorized Δ-matrix constructor is the per-plan ``delta_row``
+        stacked — bitwise, including the zero-clipping and unknown-edge drops."""
+        rng = np.random.default_rng(seed)
+        traces = [random_trace(rng, f"t{k}") for k in range(int(rng.integers(1, 4)))]
+        edges = sorted({edge for trace in traces for edge in trace.invocation_edges()})
+        compiled = CompiledTraceSet(traces, edges)
+        delay_maps = [random_delays(rng, edges) for _ in range(int(rng.integers(0, 7)))]
+        # Unknown edges must be dropped identically on both paths.
+        for delays in delay_maps:
+            delays[("X-not-a-component", "Y")] = 12.5
+        stacked = np.asarray([compiled.delta_row(d) for d in delay_maps]).reshape(
+            len(delay_maps), compiled.n_edges
+        )
+        assert np.array_equal(compiled.delta_rows(delay_maps), stacked)
+
     def test_no_delay_replay_is_identity(self):
         rng = np.random.default_rng(7)
         traces = [random_trace(rng, f"t{k}") for k in range(3)]

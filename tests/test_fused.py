@@ -1,0 +1,252 @@
+"""Fused cross-API replay tier: equivalence, tolerance and anytime-search laws.
+
+The fused program concatenates every API's compiled trace set into one
+level-scheduled replay; its float64 path must be **bitwise** identical to the
+per-API :meth:`CompiledTraceSet.replay_batch` results (that is what keeps the
+``fused`` engine interchangeable with ``compiled`` mid-search).  The float32 fast
+path is tolerance-contracted instead — objective values within ``rtol=1e-5`` of
+the float64 oracle with identical feasibility masks and Pareto ranks — and the
+optional numba backend must stay import-guarded in numba-free environments.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.atlas_ga import AtlasGA, GAConfig
+from repro.quality import HAS_NUMBA, CompiledTraceSet, FusedProgram
+from test_compiled import _random_plans, random_delays, random_trace, tiny_models  # noqa: F401
+
+
+def _random_programs(seed):
+    """Random per-API compiled sets + their fused program + random fused Δ rows."""
+    rng = np.random.default_rng(seed)
+    compiled_by_api = {}
+    for k in range(int(rng.integers(2, 5))):
+        api = f"/api{k}"
+        traces = [
+            random_trace(rng, f"{api}-t{i}") for i in range(int(rng.integers(1, 4)))
+        ]
+        edges = sorted({edge for trace in traces for edge in trace.invocation_edges()})
+        compiled_by_api[api] = CompiledTraceSet(traces, edges)
+    order = sorted(compiled_by_api)
+    program = FusedProgram(compiled_by_api, order)
+    n_plans = int(rng.integers(1, 6))
+    segments = []
+    for api in order:
+        compiled = compiled_by_api[api]
+        maps = [
+            random_delays(rng, list(compiled.edge_index)) for _ in range(n_plans)
+        ]
+        segments.append(compiled.delta_rows(maps))
+    return compiled_by_api, order, program, np.hstack(segments)
+
+
+class TestFusedProgramEquivalence:
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_fused_replay_bitwise_equals_per_api_replay(self, seed):
+        """Property: on random topologies and random Δ rows, every API's segment of
+        the fused float64 replay equals its own ``replay_batch`` bit for bit."""
+        compiled_by_api, order, program, rows = _random_programs(seed)
+        fused = program.replay(rows)
+        assert fused.shape == (rows.shape[0], program.total_traces)
+        for api in order:
+            compiled = compiled_by_api[api]
+            e0, e1 = program.edge_segment(api)
+            t0, t1 = program.trace_segment(api)
+            alone = compiled.replay_batch(rows[:, e0:e1])
+            assert np.array_equal(fused[:, t0:t1], alone)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=15, deadline=None)
+    def test_replay32_within_tolerance_of_float64(self, seed):
+        """The float32 fast path stays within its advertised rtol of the oracle."""
+        _compiled, _order, program, rows = _random_programs(seed)
+        oracle = program.replay(rows)
+        fast = program.replay32(rows).astype(np.float64)
+        assert np.allclose(fast, oracle, rtol=1e-5, atol=1e-6)
+
+    def test_rejects_wrong_row_width_and_empty_api_set(self):
+        _compiled, _order, program, rows = _random_programs(3)
+        with pytest.raises(ValueError):
+            program.replay(np.zeros((2, program.total_edges + 1)))
+        with pytest.raises(ValueError):
+            FusedProgram({}, [])
+
+
+class TestJitGuard:
+    def test_replay_jit_raises_without_numba(self):
+        """The optional backend must fail loudly — not crash on import — when the
+        numba dependency is absent (the tier-1 environment)."""
+        if HAS_NUMBA:
+            pytest.skip("numba installed; the guard only binds without it")
+        _compiled, _order, program, rows = _random_programs(5)
+        with pytest.raises(RuntimeError, match="numba"):
+            program.replay_jit(rows)
+
+    def test_replay_jit_bitwise_equals_replay(self):
+        """With numba installed (the optional-deps CI job), the JIT kernel is
+        bitwise identical to the numpy float64 replay."""
+        if not HAS_NUMBA:
+            pytest.skip("requires the optional numba dependency")
+        for seed in (1, 2, 3):
+            _compiled, _order, program, rows = _random_programs(seed)
+            assert np.array_equal(program.replay_jit(rows), program.replay(rows))
+
+
+class TestFusedEngines:
+    def test_fused_qperf_batch_bitwise_equals_compiled(self, tiny_models):
+        app, performance, _evaluator = tiny_models
+        compiled_model = performance("compiled")
+        fused_model = performance("fused")
+        matrix = np.asarray(
+            [plan.to_vector() for plan in _random_plans(app, 25, seed=13)]
+        )
+        compiled_scores = compiled_model.qperf_batch(matrix, app.component_names)
+        fused_scores = fused_model.qperf_batch(matrix, app.component_names)
+        assert np.array_equal(fused_scores, compiled_scores)
+
+    def test_fused_evaluate_batch_identical_to_compiled(self, tiny_models):
+        app, _performance, evaluator = tiny_models
+        plans = _random_plans(app, 20, seed=29)
+        compiled_q = evaluator("compiled").evaluate_batch(plans)
+        fused_q = evaluator("fused").evaluate_batch(plans)
+        assert [q.objectives() for q in fused_q] == [
+            q.objectives() for q in compiled_q
+        ]
+        assert [q.feasible for q in fused_q] == [q.feasible for q in compiled_q]
+        assert [q.violations for q in fused_q] == [q.violations for q in compiled_q]
+
+    def test_fused32_tolerance_feasibility_and_rank_agreement(self, tiny_models):
+        app, _performance, evaluator = tiny_models
+        plans = _random_plans(app, 40, seed=31)
+        oracle_q = evaluator("compiled").evaluate_batch(plans)
+        fast_q = evaluator("fused32").evaluate_batch(plans)
+        oracle = np.asarray([q.objectives() for q in oracle_q], dtype=np.float64)
+        fast = np.asarray([q.objectives() for q in fast_q], dtype=np.float64)
+        assert np.allclose(fast, oracle, rtol=1e-5)
+        assert [q.feasible for q in fast_q] == [q.feasible for q in oracle_q]
+
+        def ranks(points):
+            def dominates(a, b):
+                return all(x <= y for x, y in zip(a, b)) and any(
+                    x < y for x, y in zip(a, b)
+                )
+
+            remaining = set(range(len(points)))
+            out = [0] * len(points)
+            rank = 0
+            while remaining:
+                front = [
+                    i
+                    for i in remaining
+                    if not any(
+                        dominates(points[j], points[i]) for j in remaining if j != i
+                    )
+                ]
+                for i in front:
+                    out[i] = rank
+                remaining -= set(front)
+                rank += 1
+            return out
+
+        feasible = [i for i, q in enumerate(oracle_q) if q.feasible]
+        assert ranks([tuple(oracle[i]) for i in feasible]) == ranks(
+            [tuple(fast[i]) for i in feasible]
+        )
+
+    def test_fused_jit_engine_guarded_without_numba(self, tiny_models):
+        app, performance, _evaluator = tiny_models
+        if not HAS_NUMBA:
+            # The guard fires at construction — a fused-jit model can never exist
+            # in a numba-free environment, so no search can die mid-run on it.
+            with pytest.raises(RuntimeError, match="numba"):
+                performance("fused-jit")
+            return
+        matrix = np.asarray([plan.to_vector() for plan in _random_plans(app, 3)])
+        compiled_scores = performance("compiled").qperf_batch(
+            matrix, app.component_names
+        )
+        assert np.array_equal(
+            performance("fused-jit").qperf_batch(matrix, app.component_names),
+            compiled_scores,
+        )
+
+    def test_fixed_seed_ga_front_matches_compiled_engine(self, tiny_models):
+        """The fused engine slots under a fixed-seed search without changing its
+        trajectory — same front, same evaluation and generation counts."""
+        app, _performance, evaluator = tiny_models
+        config = GAConfig(
+            population_size=12,
+            offspring_per_generation=6,
+            evaluation_budget=150,
+            max_generations=25,
+            train_iterations=8,
+            train_batch_size=2,
+            train_pairs=8,
+            seed=4,
+        )
+        results = {
+            engine: AtlasGA(
+                evaluator(engine), app.component_names, config=config
+            ).run()
+            for engine in ("compiled", "fused")
+        }
+        assert [q.objectives() for q in results["fused"].pareto] == [
+            q.objectives() for q in results["compiled"].pareto
+        ]
+        assert results["fused"].evaluations == results["compiled"].evaluations
+        assert results["fused"].generations == results["compiled"].generations
+
+
+class TestAnytimeSearch:
+    CONFIG = GAConfig(
+        population_size=12,
+        offspring_per_generation=6,
+        evaluation_budget=400,
+        max_generations=40,
+        train_iterations=8,
+        train_batch_size=2,
+        train_pairs=8,
+        seed=4,
+    )
+
+    def _run(self, tiny_models, **overrides):
+        app, _performance, evaluator = tiny_models
+        config = dataclasses.replace(self.CONFIG, **overrides)
+        return AtlasGA(evaluator("compiled"), app.component_names, config=config).run()
+
+    def test_patience_zero_is_the_historical_run(self, tiny_models):
+        """``patience=0`` (the default) must stay byte-identical to a run where the
+        stall counter never fires — same front, counts, and no early exit."""
+        baseline = self._run(tiny_models)
+        tolerant = self._run(tiny_models, patience=10**6)
+        assert baseline.early_stopped is False
+        assert [q.objectives() for q in tolerant.pareto] == [
+            q.objectives() for q in baseline.pareto
+        ]
+        assert tolerant.evaluations == baseline.evaluations
+        assert tolerant.generations == baseline.generations
+
+    def test_patience_early_exit_is_deterministic(self, tiny_models):
+        """A fixed-seed anytime run converges at the same generation every time,
+        cutting the patience-less trajectory short (never extending it)."""
+        first = self._run(tiny_models, patience=2)
+        second = self._run(tiny_models, patience=2)
+        assert first.early_stopped and second.early_stopped
+        assert first.generations == second.generations
+        assert first.evaluations == second.evaluations
+        assert [q.objectives() for q in first.pareto] == [
+            q.objectives() for q in second.pareto
+        ]
+        full = self._run(tiny_models)
+        assert first.generations <= full.generations
+        assert first.evaluations <= full.evaluations
+
+    def test_patience_rejects_negative(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(self.CONFIG, patience=-1)
