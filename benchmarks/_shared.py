@@ -30,6 +30,10 @@ BENCH_EVAL_THROUGHPUT_PATH = (
     Path(__file__).resolve().parent.parent / "BENCH_eval_throughput.json"
 )
 
+#: Append-run metrics ledger of the warm-path serving benchmarks (cold vs warm
+#: recommend latency, splice vs full-rebuild time; rendered by ``benchmarks/report.py``).
+BENCH_WARM_PATH_PATH = Path(__file__).resolve().parent.parent / "BENCH_warm_path.json"
+
 #: Search budget (plans visited) shared by Atlas, the affinity GA and random search.
 SEARCH_BUDGET = 2_500
 

@@ -674,6 +674,10 @@ def test_fused_engine_throughput(benchmark):
         "fused_eval_throughput",
         {
             "engine": "fused32",
+            # The QPerf pass is timed in GA-generation chunks; early ledger runs
+            # timed whole-batch passes — the mode tag keeps their trends separate
+            # (see report.py: bench[mode] grouping).
+            "mode": "chunked",
             "workers": 1,
             "scenarios": len(FUSED_SCENARIOS),
             "plans": N_PLANS_FUSED,

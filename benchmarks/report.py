@@ -10,12 +10,22 @@ Usage::
 
     python benchmarks/report.py                  # print markdown to stdout
     python benchmarks/report.py -o report.md     # also write it to a file (CI artifact)
+    python benchmarks/report.py --check          # exit 1 on any REGRESSION row (CI gate)
 
 The headline metric per bench is picked by direction-aware preference: explicit
 speedups first (higher is better), then throughput rates (``*_per_s``, higher),
 then wall-clock seconds (``*_s``/``seconds``, lower).  Runs missing the headline
 metric (older schema revisions) still count toward the run total but not the
 best/latest comparison.
+
+Runs recorded under different measurement modes are not comparable (e.g. the early
+``fused_eval_throughput`` runs timed whole-batch passes, the current ones time
+GA-generation chunks): a run's optional ``metrics["mode"]`` tag splits it into its
+own ``bench[mode]`` trend row, so latest-vs-best is always apples-to-apples.
+
+``--check`` turns the trend column into a regression gate: when any bench's latest
+run has worsened more than ``REGRESSION_THRESHOLD`` (10%) off its best recorded
+run, the script exits non-zero and CI fails.
 """
 
 from __future__ import annotations
@@ -82,11 +92,22 @@ def _day(run: Dict) -> str:
     return str(run.get("timestamp", ""))[:10] or "-"
 
 
+def _bench_group(run: Dict) -> str:
+    """Trend-group label of one run: ``bench``, or ``bench[mode]`` when tagged.
+
+    Runs of the same bench measured under different modes (whole-batch vs chunked
+    timing, say) are different quantities; the mode tag keeps their trends apart.
+    """
+    bench = str(run.get("bench", "?"))
+    mode = run.get("metrics", {}).get("mode")
+    return f"{bench}[{mode}]" if mode else bench
+
+
 def build_rows(runs: List[Dict]) -> List[Dict]:
-    """One report row per bench name: latest vs best on the headline metric."""
+    """One report row per bench group: latest vs best on the headline metric."""
     by_bench: Dict[str, List[Dict]] = {}
     for run in runs:
-        by_bench.setdefault(str(run.get("bench", "?")), []).append(run)
+        by_bench.setdefault(_bench_group(run), []).append(run)
     rows = []
     for bench in sorted(by_bench):
         bench_runs = by_bench[bench]
@@ -168,11 +189,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=REPO_ROOT,
         help="directory scanned for BENCH_*.json ledgers (default: repo root)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "regression gate: exit 1 when any bench's latest run is more than "
+            f"{REGRESSION_THRESHOLD:.0%} off its best recorded run"
+        ),
+    )
     args = parser.parse_args(argv)
-    report = render_markdown(build_rows(load_ledgers(args.root)))
+    rows = build_rows(load_ledgers(args.root))
+    report = render_markdown(rows)
     print(report, end="")
     if args.output is not None:
         args.output.write_text(report)
+    if args.check:
+        regressed = [row for row in rows if str(row["trend"]).startswith("REGRESSION")]
+        for row in regressed:
+            print(
+                f"REGRESSION: {row['bench']} latest {row['latest']} vs best "
+                f"{row['best']} ({row['trend']})"
+            )
+        if regressed:
+            return 1
     return 0
 
 

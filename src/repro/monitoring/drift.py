@@ -12,11 +12,12 @@ recommendation round is triggered.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from ..telemetry.tracing import Trace
 from ..workload.profiles import BehaviorChange, WorkloadScenario
 
 __all__ = [
@@ -98,6 +99,14 @@ class DriftScenarioUpdate:
 
     reports: Dict[str, DriftReport]
     scenario: Optional[WorkloadScenario]
+    #: Freshly profiled traces per drifted API (when the monitoring plane handed the
+    #: check a recent trace window): the payload of the evaluator's incremental
+    #: splice path — :meth:`Atlas.recertify <repro.recommend.advisor.Atlas.recertify>`
+    #: installs them via :meth:`QualityEvaluator.splice
+    #: <repro.quality.evaluator.QualityEvaluator.splice>` so only the drifted APIs
+    #: recompile.  Empty when no traces were supplied (the historical behaviour:
+    #: recertification falls back to invalidate-and-rebuild).
+    refreshed_traces: Dict[str, List[Trace]] = field(default_factory=dict)
 
     @property
     def drifted_apis(self) -> List[str]:
@@ -168,6 +177,7 @@ class DriftDetector:
         self,
         recent_latencies: Mapping[str, Sequence[float]],
         scenario: Optional[WorkloadScenario] = None,
+        traces_by_api: Optional[Mapping[str, Sequence[Trace]]] = None,
     ) -> Union[Dict[str, DriftReport], DriftScenarioUpdate]:
         """Drift reports for every monitored API's recent samples.
 
@@ -177,13 +187,27 @@ class DriftDetector:
         returns a :class:`DriftScenarioUpdate` — the first step of the
         drift-triggered re-recommendation loop.  Without it, the historical
         ``{api: DriftReport}`` mapping is returned unchanged.
+
+        ``traces_by_api`` optionally supplies the recent trace window per API (from
+        the telemetry server); the drifted APIs' traces are attached to the update as
+        :attr:`DriftScenarioUpdate.refreshed_traces`, enabling the evaluator's
+        incremental splice instead of a wholesale invalidation during
+        recertification.
         """
         reports = self._reports(recent_latencies)
         if scenario is None:
             return reports
+        refreshed: Dict[str, List[Trace]] = {}
+        if traces_by_api is not None:
+            refreshed = {
+                api: list(traces_by_api[api])
+                for api, report in sorted(reports.items())
+                if report.drift_detected and traces_by_api.get(api)
+            }
         return DriftScenarioUpdate(
             reports=reports,
             scenario=self.refreshed_scenario(scenario, recent_latencies, reports),
+            refreshed_traces=refreshed,
         )
 
     def _reports(

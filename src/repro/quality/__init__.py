@@ -14,6 +14,12 @@ scores plans robustly against the whole family.
 """
 
 from .adversary import AdversaryBounds, RobustnessCertificate, ScenarioAdversary
+from .artifacts import (
+    ArtifactCache,
+    fingerprint_footprint,
+    fingerprint_network,
+    fingerprint_traces,
+)
 from .availability import ApiAvailabilityModel, AvailabilityEstimate
 from .compiled import CompiledTraceSet, compile_traces
 from .cost import CloudCostModel, CostEstimate, PricingCatalog
@@ -64,6 +70,10 @@ from .scenarios import (
 )
 
 __all__ = [
+    "ArtifactCache",
+    "fingerprint_traces",
+    "fingerprint_network",
+    "fingerprint_footprint",
     "CompiledTraceSet",
     "compile_traces",
     "FusedProgram",

@@ -308,7 +308,7 @@ class ScenarioAdversary:
 
         def consider(spec: ScenarioSpec) -> Optional[_Candidate]:
             nonlocal spent
-            identity = spec.compile_key()[1:]
+            identity = spec.identity_key()
             if identity in seen:
                 return None
             seen.add(identity)
@@ -361,7 +361,7 @@ class ScenarioAdversary:
         misses = 0
         while spent < self.budget and misses < 25:
             spec = self._spec_from_params(self._random_params(rng), adversary_index)
-            if spec is None or spec.compile_key()[1:] in seen:
+            if spec is None or spec.identity_key() in seen:
                 misses += 1
                 continue
             misses = 0

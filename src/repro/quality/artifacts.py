@@ -1,0 +1,155 @@
+"""Fingerprint-keyed LRU cache of compiled replay artifacts (the warm path).
+
+Every :class:`~repro.recommend.advisor.Atlas` recommendation today compiles the
+same artifacts from scratch: per-API :class:`~repro.quality.compiled.CompiledTraceSet`
+programs, per-API Δ lookup tables and the merged
+:class:`~repro.quality.fused.FusedProgram`.  The replay kernels made *evaluation*
+fast, so for repeated / multi-tenant serving the compile step now dominates
+recommend latency.  :class:`ArtifactCache` amortizes it: artifacts are keyed by
+**content fingerprints** of exactly the inputs their construction consumes —
+trace structure exports, edge orders, footprint bytes, baseline placements,
+network links — so N tenants working off the same testbed share one physical
+compile, and a changed input can never serve a stale artifact (the key changes
+with the content).
+
+The cache composes with :class:`~repro.quality.compiled.ShmArena`: a cached
+``CompiledTraceSet`` or ``FusedProgram`` that one evaluator exports to shared
+memory is the *same object* every other evaluator replays, so parallel islands
+of different recommend calls map the same physical pages.
+
+Soundness: every cached artifact is a deterministic pure function of its key's
+content (compilation is replay-order preserving, IEEE-754 op order fixed), so a
+cache hit is bitwise-identical to a fresh build.  The cache is strictly opt-in —
+models built without one compile exactly as before, keeping the default cold
+path fingerprint-locked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.network import NetworkModel
+    from ..learning.footprint import NetworkFootprint
+    from ..telemetry.tracing import Trace
+
+__all__ = [
+    "ArtifactCache",
+    "fingerprint_traces",
+    "fingerprint_network",
+    "fingerprint_footprint",
+]
+
+
+def _sha(parts: Iterable[str]) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+def fingerprint_traces(traces: Sequence["Trace"]) -> str:
+    """Content fingerprint of an ordered trace set — the compiled-replay identity.
+
+    Hashes exactly what :class:`~repro.quality.compiled.CompiledTraceSet` consumes:
+    each trace's :meth:`~repro.telemetry.tracing.Trace.structure` export in canonical
+    span order (component, operation, ``repr``-exact start/duration floats), parent
+    positions and root position.  Equal fingerprints therefore imply bitwise-equal
+    compiled arrays; ids (trace/span ids) are excluded beyond their effect on the
+    canonical order, so re-profiled-but-identical traces still hit.
+    """
+    parts = []
+    for trace in traces:
+        structure = trace.structure()
+        parts.append(trace.api)
+        parts.append(str(structure.root_index))
+        parts.append(",".join(str(i) for i in structure.parent_index))
+        for span in structure.spans:
+            parts.append(
+                f"{span.component}|{span.operation}|{span.start_ms!r}|{span.duration_ms!r}"
+            )
+    return _sha(parts)
+
+
+def fingerprint_footprint(footprint: "NetworkFootprint") -> str:
+    """Content fingerprint of a learned network footprint (all edge byte sizes)."""
+    parts = []
+    for api in footprint.apis:
+        for (source, destination), edge in sorted(footprint.edges_of(api).items()):
+            parts.append(
+                f"{api}|{source}|{destination}|"
+                f"{edge.request_bytes!r}|{edge.response_bytes!r}"
+            )
+    return _sha(parts)
+
+
+def fingerprint_network(network: "NetworkModel") -> str:
+    """Content fingerprint of a network model's link table (latency + bandwidth)."""
+    parts = []
+    for (a, b), link in sorted(network._links.items()):
+        parts.append(f"{a}-{b}|{link.latency_ms!r}|{link.bandwidth_mbps!r}")
+    return _sha(parts)
+
+
+class ArtifactCache:
+    """Bounded LRU of compiled artifacts keyed by content fingerprints.
+
+    One cache instance is meant to outlive individual :class:`Atlas` /
+    :class:`~repro.quality.evaluator.QualityEvaluator` objects (the
+    :class:`~repro.recommend.advisor.AdvisorService` holds one for its whole
+    lifetime): ``get_or_build`` returns the cached artifact when the key was seen
+    before — across evaluator instances and tenants — and builds + remembers it
+    otherwise.  Keys must be content-complete (see the module docstring); values
+    are treated as immutable by every consumer, so sharing one physical artifact
+    between models is safe.
+
+    ``hits`` / ``misses`` / ``evictions`` counters make warm-path behaviour
+    observable in benchmarks and tests; ``max_entries`` bounds residency with
+    least-recently-used eviction.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def get_or_build(self, key: Tuple, build: Callable[[], object]) -> object:
+        """The artifact for ``key`` — cached if seen before, else ``build()`` + remember."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = build()
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return value
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep accumulating — they describe the lifetime)."""
+        self._entries.clear()

@@ -28,6 +28,7 @@ keeps fixed-seed GA trajectories unchanged when switching engines.
 
 from __future__ import annotations
 
+import math
 from multiprocessing import shared_memory
 from typing import Dict, List, Mapping, Sequence, Tuple
 
@@ -113,6 +114,40 @@ class ShmArena:
 Edge = Tuple[str, str]
 
 
+def _same_float(a: float, b: float) -> bool:
+    """Exact float equality including the sign of zero (bitwise-compile equality)."""
+    return a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
+
+
+def _trace_content_equal(a: Trace, b: Trace) -> bool:
+    """Structural equality of exactly what compilation consumes — the splice reuse test.
+
+    Compares the :meth:`~repro.telemetry.tracing.Trace.structure` exports field by
+    field (API, root/parent positions, per-span component, operation and exact
+    timings), so equal traces compile to bitwise-identical fragments.  A direct
+    comparison, not a hash: splice probes one specific (old, new) pair per position,
+    where equality is ~20x cheaper than fingerprinting both sides.
+    """
+    if a is b:
+        return True
+    if a.api != b.api:
+        return False
+    sa, sb = a.structure(), b.structure()
+    if sa.root_index != sb.root_index or list(sa.parent_index) != list(sb.parent_index):
+        return False
+    if len(sa.spans) != len(sb.spans):
+        return False
+    for x, y in zip(sa.spans, sb.spans):
+        if (
+            x.component != y.component
+            or x.operation != y.operation
+            or not _same_float(x.start_ms, y.start_ms)
+            or not _same_float(x.duration_ms, y.duration_ms)
+        ):
+            return False
+    return True
+
+
 class _LevelOps:
     """Vectorized instruction bundle for one dependency level."""
 
@@ -171,6 +206,42 @@ class _LevelOps:
         self.ea_tail = np.asarray(self.ea_tail, dtype=np.float64)
 
 
+#: dtype of every index-like `_LevelOps` slot (the rest are float64 values).
+_INTP_SLOTS = frozenset(
+    {"sp_idx", "sp_dep", "sp_edge", "ss_idx", "ss_dep", "ss_edge",
+     "el_idx", "ea_idx", "ea_children", "ea_offsets"}
+)
+#: slots holding absolute span indices — shifted by the trace's span offset on assembly.
+_SPAN_INDEX_SLOTS = frozenset(
+    {"sp_idx", "sp_dep", "ss_idx", "ss_dep", "el_idx", "ea_idx", "ea_children"}
+)
+
+
+class _TraceFragment:
+    """One trace compiled at local span offset 0 — the reusable unit of :meth:`splice`.
+
+    Holds the trace's frozen per-level ops with *local* span indices; assembly shifts
+    them by the trace's global span offset.  Every float in a fragment is computed
+    trace-locally by ``_compile_one`` (offsets only ever enter integer indices), so
+    concatenating fragments is bitwise-identical to compiling the whole set in one
+    monolithic pass.
+    """
+
+    __slots__ = ("n_spans", "root_idx", "root_start", "levels")
+
+    def __init__(
+        self,
+        n_spans: int,
+        root_idx: int,
+        root_start: float,
+        levels: Dict[int, _LevelOps],
+    ) -> None:
+        self.n_spans = n_spans
+        self.root_idx = root_idx
+        self.root_start = root_start
+        self.levels = levels
+
+
 class CompiledTraceSet:
     """All sample traces of one API, compiled for batched delay injection.
 
@@ -179,31 +250,117 @@ class CompiledTraceSet:
     trigger gap, invocation-edge id and foreground-children segment, then buckets every
     assignment by dependency level.  :meth:`replay_batch` evaluates a whole matrix of
     per-plan delay vectors in one pass; :meth:`latencies` is the single-plan view.
+
+    Compilation is staged per trace: each trace becomes a :class:`_TraceFragment`
+    (its frozen level ops at local offset 0) and assembly concatenates the fragments
+    with index shifts.  The fragments are retained so :meth:`splice` can swap a
+    drifted subset of traces and recompile only those — the warm-path incremental
+    rebuild — at the cost of roughly doubling the (small) compiled-array footprint.
     """
 
     def __init__(self, traces: Sequence[Trace], edge_order: Sequence[Edge]) -> None:
         if not traces:
             raise ValueError("cannot compile an empty trace set")
-        self.n_traces = len(traces)
         self.edge_index: Dict[Edge, int] = {}
         for edge in edge_order:
             if edge not in self.edge_index:
                 self.edge_index[edge] = len(self.edge_index)
         self.n_edges = len(self.edge_index)
+        self._traces = list(traces)
+        self._fragments = [self._compile_fragment(trace) for trace in self._traces]
+        self._assemble()
 
+    def _compile_fragment(self, trace: Trace) -> _TraceFragment:
         root_idx: List[int] = []
         root_start: List[float] = []
         levels: Dict[int, _LevelOps] = {}
-        offset = 0
-        for trace in traces:
-            offset = self._compile_one(trace, offset, root_idx, root_start, levels)
-        self.n_spans = offset
-        self._root_idx = np.asarray(root_idx, dtype=np.intp)
-        self._root_start = np.asarray(root_start, dtype=np.float64)
-        self._levels = [levels[level] for level in sorted(levels)]
-        for ops in self._levels:
+        n_spans = self._compile_one(trace, 0, root_idx, root_start, levels)
+        for ops in levels.values():
             ops.freeze()
+        return _TraceFragment(n_spans, root_idx[0], root_start[0], levels)
+
+    def _assemble(self) -> None:
+        """Concatenate the per-trace fragments into the global replay arrays.
+
+        Reproduces exactly what a monolithic compile over all traces emits: per
+        dependency level, each trace's ops in trace order, span indices shifted by
+        the trace's span offset and ``ea_offsets`` rebased by the level's
+        accumulated foreground-children count.
+        """
+        fragments = self._fragments
+        self.n_traces = len(fragments)
+        offsets: List[int] = []
+        total = 0
+        for fragment in fragments:
+            offsets.append(total)
+            total += fragment.n_spans
+        self.n_spans = total
+        self._root_idx = np.asarray(
+            [off + frag.root_idx for off, frag in zip(offsets, fragments)], dtype=np.intp
+        )
+        self._root_start = np.asarray(
+            [frag.root_start for frag in fragments], dtype=np.float64
+        )
+        self._levels = []
+        for depth in sorted({d for frag in fragments for d in frag.levels}):
+            ops = _LevelOps()
+            parts: Dict[str, List[np.ndarray]] = {name: [] for name in _LevelOps.__slots__}
+            children_total = 0
+            for offset, fragment in zip(offsets, fragments):
+                local = fragment.levels.get(depth)
+                if local is None:
+                    continue
+                for name in _LevelOps.__slots__:
+                    block = getattr(local, name)
+                    if name in _SPAN_INDEX_SLOTS:
+                        block = block + offset
+                    elif name == "ea_offsets":
+                        block = block + children_total
+                    parts[name].append(block)
+                children_total += len(local.ea_children)
+            for name in _LevelOps.__slots__:
+                dtype = np.intp if name in _INTP_SLOTS else np.float64
+                blocks = parts[name]
+                merged = (
+                    np.concatenate(blocks) if blocks else np.asarray([], dtype=dtype)
+                )
+                setattr(ops, name, merged.astype(dtype, copy=False))
+            self._levels.append(ops)
         self._shm_backed = False
+
+    def splice(self, new_traces: Sequence[Trace]) -> "CompiledTraceSet":
+        """A new set over ``new_traces`` recompiling only the traces that changed.
+
+        The incremental half of the warm path: a drift refresh of one API typically
+        replaces a handful of its sample traces, so positions whose trace content
+        (the :meth:`~repro.telemetry.tracing.Trace.structure` export — exactly what
+        compilation consumes) is unchanged reuse this set's already-compiled fragment
+        verbatim and only genuinely new traces pay ``_compile_one``.  Assembly then
+        re-concatenates fragments exactly as ``__init__`` does, so the result is
+        bitwise-identical to ``CompiledTraceSet(new_traces, edge_order)`` over the
+        same edge vocabulary.
+
+        The new traces must stay within this set's invocation-edge vocabulary
+        (``KeyError`` otherwise) — callers that detect a changed edge set recompile
+        from scratch instead, because the cached fragments' edge ids would shift.
+        """
+        if not new_traces:
+            raise ValueError("cannot splice to an empty trace set")
+        clone = object.__new__(CompiledTraceSet)
+        clone.edge_index = dict(self.edge_index)
+        clone.n_edges = self.n_edges
+        fragments: List[_TraceFragment] = []
+        for pos, trace in enumerate(new_traces):
+            fragment = None
+            if pos < len(self._traces) and _trace_content_equal(trace, self._traces[pos]):
+                fragment = self._fragments[pos]
+            if fragment is None:
+                fragment = clone._compile_fragment(trace)
+            fragments.append(fragment)
+        clone._traces = list(new_traces)
+        clone._fragments = fragments
+        clone._assemble()
+        return clone
 
     def share_memory(self, arena: "ShmArena") -> None:
         """Move every compiled array into ``arena``-backed shared memory (idempotent).

@@ -35,13 +35,14 @@ iff it is feasible under every scenario.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..cluster.placement import MigrationPlan
 from ..learning.estimator import ResourceEstimate, ResourceEstimator
+from ..telemetry.tracing import Trace
 from .availability import ApiAvailabilityModel
 from .cost import CloudCostModel
 from .faults import FaultedStack
@@ -204,6 +205,11 @@ class QualityEvaluator:
         self.scenario_evaluations = 0
         # Compiled scenario contexts, keyed by the spec's canonical identity.
         self._scenario_contexts: Dict[Tuple, _ScenarioContext] = {}
+        # Name-independent compiled scenario state, keyed by the spec's
+        # identity_key(): the adversary probes workload shapes under throwaway
+        # names ("adversary-3", "drift-refresh"), so recompiling per name would
+        # rebuild the same estimate/footprint/view/cost stack over and over.
+        self._scenario_states: Dict[Tuple, _ScenarioContext] = {}
         # Robust result caches, one per (scenario set, aggregator) identity.
         self._robust_caches: Dict[Tuple, Dict[Tuple[int, ...], PlanQuality]] = {}
         # Active binding: when set, every entry point (evaluate/evaluate_batch/
@@ -574,6 +580,15 @@ class QualityEvaluator:
         key = spec.compile_key()
         context = self._scenario_contexts.get(key)
         if context is None:
+            # Specs that differ only in name compile to the same artifacts
+            # (identity_key strips the name): reuse the compiled state and only
+            # rewrap the spec — names flow into violation prefixes and result
+            # labels, never into the models.
+            state = self._scenario_states.get(spec.identity_key())
+            if state is not None:
+                context = replace(state, spec=spec)
+                self._scenario_contexts[key] = context
+                return context
             self._validate_spec_apis(spec)
             if spec.is_baseline:
                 context = _ScenarioContext(
@@ -635,6 +650,7 @@ class QualityEvaluator:
                     preferences=preferences,
                 )
             self._scenario_contexts[key] = context
+            self._scenario_states[spec.identity_key()] = context
         return context
 
     def _validate_spec_apis(self, spec: ScenarioSpec) -> None:
@@ -849,6 +865,7 @@ class QualityEvaluator:
         """
         if scenario is None:
             self._scenario_contexts.clear()
+            self._scenario_states.clear()
             self._robust_caches.clear()
         else:
             name = scenario.name if isinstance(scenario, ScenarioSpec) else scenario
@@ -857,6 +874,11 @@ class QualityEvaluator:
                 for key, context in self._scenario_contexts.items()
                 if context.spec.name == name
             ]:
+                # Drop the shared identity state too: a by-name invalidation must
+                # force a genuine recompile, not an identity-cache hit.
+                self._scenario_states.pop(
+                    self._scenario_contexts[key].spec.identity_key(), None
+                )
                 del self._scenario_contexts[key]
             for cache_key in [
                 cache_key
@@ -869,6 +891,23 @@ class QualityEvaluator:
             self._cache.clear()
             self._robust_caches.clear()
             self._scenario_contexts.clear()
+            self._scenario_states.clear()
+
+    def splice(self, new_traces_by_api: Mapping[str, Sequence[Trace]]) -> None:
+        """Incremental drift refresh: install re-profiled traces for the named APIs.
+
+        The O(K) counterpart of ``invalidate_for_scenario(apis=...)``: the
+        performance model splices only the named APIs' compiled state (see
+        :meth:`~repro.quality.performance.ApiPerformanceModel.splice`), stale
+        results are dropped, but the compiled *scenario* contexts survive — a
+        scenario's estimate/footprint/cost/weights never depend on trace contents,
+        and its performance view's per-API caches were purged family-wide by the
+        model splice — so a K-of-N API refresh pays K trace compiles instead of a
+        full evaluator rebuild, while scoring bitwise-identical to one.
+        """
+        self.performance.splice(new_traces_by_api)
+        self._cache.clear()
+        self._robust_caches.clear()
 
     def _evaluate_uncached(self, plan: MigrationPlan) -> PlanQuality:
         """Per-plan reference oracle; the batched pipeline must match it bitwise.

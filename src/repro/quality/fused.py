@@ -147,6 +147,11 @@ class FusedProgram:
         if not api_order:
             raise ValueError("cannot fuse an empty API set")
         self.api_order: Tuple[str, ...] = tuple(api_order)
+        # Source sets are retained (references only) so splice() can re-concatenate
+        # the program with just the dirty APIs' sets replaced.
+        self._compiled_by_api: Dict[str, CompiledTraceSet] = {
+            api: compiled_by_api[api] for api in self.api_order
+        }
         self._edge_segments: Dict[str, Tuple[int, int]] = {}
         self._trace_segments: Dict[str, Tuple[int, int]] = {}
         span_offset = 0
@@ -204,6 +209,7 @@ class FusedProgram:
         self._root_start32: np.ndarray = np.empty(0, dtype=np.float32)
         self._packed = None
         self._shm_backed = False
+        self._shm_float32 = False
 
     # -- layout ----------------------------------------------------------------------------
     def edge_segment(self, api: str) -> Tuple[int, int]:
@@ -214,21 +220,50 @@ class FusedProgram:
         """Half-open column range of one API's traces inside a replay result."""
         return self._trace_segments[api]
 
-    def share_memory(self, arena: "ShmArena") -> None:
+    def splice(self, replacements: Mapping[str, CompiledTraceSet]) -> "FusedProgram":
+        """A new program with the named APIs' segments swapped in (warm-path rebuild).
+
+        Unchanged APIs contribute the very same compiled arrays they already
+        contributed — no recompilation, only the index shifts of fusion are redone —
+        so splicing K of N APIs costs the concatenation pass plus whatever the
+        caller spent compiling the K replacement sets.  By construction the result
+        is bitwise-identical to fusing all N sets from scratch.
+        """
+        unknown = set(replacements) - set(self.api_order)
+        if unknown:
+            raise KeyError(f"unknown APIs in fused splice: {sorted(unknown)}")
+        merged = dict(self._compiled_by_api)
+        merged.update(replacements)
+        return FusedProgram(merged, self.api_order)
+
+    def share_memory(self, arena: "ShmArena", float32: bool = False) -> None:
         """Move the fused arrays into ``arena``-backed shared memory (idempotent).
 
         Mirrors :meth:`CompiledTraceSet.share_memory`: the island-model parallel
         search exports the fused program before forking, so workers replay against
-        physically shared pages.
+        physically shared pages.  The merged-level replay arrays (the actual hot
+        path of :meth:`replay`) are materialized and exported too, so forked
+        workers stop lazily rebuilding private per-process copies; pass
+        ``float32=True`` to additionally export the :meth:`replay32` arrays.
         """
-        if self._shm_backed:
-            return
-        self.root_idx = arena.share(self.root_idx)
-        self.root_start = arena.share(self.root_start)
-        for ops in self._levels:
-            for name in _LevelOps.__slots__:
-                setattr(ops, name, arena.share(getattr(ops, name)))
-        self._shm_backed = True
+        if not self._shm_backed:
+            self.root_idx = arena.share(self.root_idx)
+            self.root_start = arena.share(self.root_start)
+            for ops in self._levels:
+                for name in _LevelOps.__slots__:
+                    setattr(ops, name, arena.share(getattr(ops, name)))
+            for level in self._merged_levels(np.float64):
+                for name in _MergedLevel.__slots__:
+                    setattr(level, name, arena.share(getattr(level, name)))
+            self._shm_backed = True
+        if float32 and not self._shm_float32:
+            if not len(self._root_start32):
+                self._root_start32 = np.zeros(len(self.root_start), dtype=np.float32)
+            self._root_start32 = arena.share(self._root_start32)
+            for level in self._merged_levels(np.float32):
+                for name in _MergedLevel.__slots__:
+                    setattr(level, name, arena.share(getattr(level, name)))
+            self._shm_float32 = True
 
     # -- replay ----------------------------------------------------------------------------
     def _merged_levels(self, dtype) -> List["_MergedLevel"]:

@@ -54,6 +54,7 @@ from ..learning.api_profile import classify_background, classify_sibling
 from ..learning.footprint import NetworkFootprint
 from ..apps.model import ExecutionMode
 from ..telemetry.tracing import Span, Trace
+from .artifacts import ArtifactCache, fingerprint_network, fingerprint_traces
 from .compiled import CompiledTraceSet, ShmArena
 from .fused import HAS_NUMBA, FusedProgram
 
@@ -194,6 +195,7 @@ class ApiPerformanceModel:
         baseline_plan: MigrationPlan,
         traces_per_api: int = 50,
         engine: str = "compiled",
+        artifact_cache: Optional["ArtifactCache"] = None,
     ) -> None:
         if traces_per_api <= 0:
             raise ValueError("traces_per_api must be positive")
@@ -208,6 +210,14 @@ class ApiPerformanceModel:
         self.network = network
         self.baseline_plan = baseline_plan
         self.engine = engine
+        # Warm-path artifact cache (opt-in): compiled sets, fused programs and Δ
+        # tables are fetched/stored by content fingerprint so repeated builds over
+        # the same testbed share one physical compile.  ``None`` keeps the default
+        # cold path byte-identical to a cache-free build.
+        self._artifact_cache = artifact_cache
+        # Per-API trace-content fingerprints (lazy; shared by reference with views).
+        self._trace_fps: Dict[str, str] = {}
+        self._traces_per_api = int(traces_per_api)
         self._traces: Dict[str, List[Trace]] = {
             api: list(traces)[-traces_per_api:]
             for api, traces in traces_by_api.items()
@@ -369,6 +379,70 @@ class ApiPerformanceModel:
             model._fused_deltas.clear()
             model._shm_locations = 0
 
+    def splice(self, new_traces_by_api: Mapping[str, Sequence[Trace]]) -> None:
+        """Install refreshed sample traces for the named APIs — the O(K) drift path.
+
+        Where :meth:`invalidate_for_scenario` only *drops* the stale APIs' state and
+        leaves the rebuild to the next evaluation, splice *replaces* it: the named
+        APIs' traces, baseline means, edge vocabularies and touched sets are
+        recomputed exactly as the constructor would, their compiled sets are rebuilt
+        through :meth:`CompiledTraceSet.splice` (reusing every unchanged trace's
+        fragment when the edge vocabulary held still), and the fused program — when
+        this family runs a fused engine — re-concatenates around the K fresh sets
+        instead of recompiling all N.  Every other API's compiled arrays and replay
+        caches survive untouched, so a K-of-N refresh costs O(K) compile work while
+        staying bitwise-identical to a from-scratch model over the updated traces.
+        """
+        targets = sorted(new_traces_by_api)
+        unknown = [api for api in targets if api not in self._traces]
+        if unknown:
+            raise KeyError(f"cannot splice unknown APIs: {unknown}")
+        old_program = self._fused_state.get("program")
+        old_compiled = {api: self._compiled.get(api) for api in targets}
+        old_edges = {api: self._edges[api] for api in targets}
+        for api in targets:
+            traces = list(new_traces_by_api[api])[-self._traces_per_api :]
+            if not traces:
+                raise ValueError(f"cannot splice API {api!r} to an empty trace set")
+            self._traces[api] = traces
+            self._baseline_mean[api] = float(
+                statistics.fmean(t.latency_ms for t in traces)
+            )
+            edges = set()
+            for trace in traces:
+                edges.update(trace.invocation_edges())
+            self._edges[api] = sorted(edges)
+            members = set()
+            for caller, callee in self._edges[api]:
+                members.add(caller)
+                members.add(callee)
+            self._touched[api] = sorted(members)
+            self._trace_fps.pop(api, None)
+        # Touched sets may have changed, so the per-order projection columns
+        # (shared by reference with every view) are stale.
+        self._projection_columns.clear()
+        self.invalidate_for_scenario(apis=targets)
+        for api in targets:
+            previous = old_compiled[api]
+            if previous is not None and self._edges[api] == old_edges[api]:
+                compiled = previous.splice(self._traces[api])
+                if self._artifact_cache is not None:
+                    # Register the spliced set under its new content key so other
+                    # models over the refreshed traces share it too.
+                    key = (
+                        "compiled",
+                        self._trace_fingerprint(api),
+                        tuple(self._edges[api]),
+                    )
+                    compiled = self._artifact_cache.get_or_build(key, lambda: compiled)
+                self._compiled[api] = compiled
+            # else: the edge vocabulary moved (or the set was never compiled) —
+            # _compiled_set recompiles from scratch on first use.
+        if old_program is not None and self.is_fused:
+            self._fused_state["program"] = old_program.splice(
+                {api: self._compiled_set(api) for api in targets}
+            )
+
     # -- shared-memory export --------------------------------------------------------------
     def share_memory(self, arena: "ShmArena", n_locations: int) -> None:
         """Export this model's compiled replay state into shared memory (idempotent).
@@ -396,7 +470,7 @@ class ApiPerformanceModel:
                 arena.share(dst_pos),
             )
         if self.is_fused:
-            self._fused_program().share_memory(arena)
+            self._fused_program().share_memory(arena, float32=self.engine == "fused32")
         self._shm_locations = n_locations
 
     # -- public API ------------------------------------------------------------------------
@@ -453,10 +527,27 @@ class ApiPerformanceModel:
     def _signature(delays: Mapping[Edge, float]) -> DelaySignature:
         return tuple(sorted(delays.items()))
 
+    def _trace_fingerprint(self, api: str) -> str:
+        """Content fingerprint of one API's sample trace set (lazy, family-shared)."""
+        fingerprint = self._trace_fps.get(api)
+        if fingerprint is None:
+            fingerprint = fingerprint_traces(self._traces[api])
+            self._trace_fps[api] = fingerprint
+        return fingerprint
+
     def _compiled_set(self, api: str) -> CompiledTraceSet:
         compiled = self._compiled.get(api)
         if compiled is None:
-            compiled = CompiledTraceSet(self._traces[api], self._edges[api])
+            if self._artifact_cache is not None:
+                # A compiled set is a pure function of (trace contents, edge order):
+                # equal key ⇒ bitwise-equal arrays, so sharing the physical object
+                # across models/tenants is sound.
+                key = ("compiled", self._trace_fingerprint(api), tuple(self._edges[api]))
+                compiled = self._artifact_cache.get_or_build(
+                    key, lambda: CompiledTraceSet(self._traces[api], self._edges[api])
+                )
+            else:
+                compiled = CompiledTraceSet(self._traces[api], self._edges[api])
             self._compiled[api] = compiled
         return compiled
 
@@ -557,32 +648,62 @@ class ApiPerformanceModel:
         """
         cached = self._delta_tables.get(api)
         if cached is None or cached[0] < n_locations:
-            edges = self._edges[api]
-            table = np.zeros((len(edges), n_locations, n_locations), dtype=np.float64)
-            missing = np.zeros(table.shape, dtype=bool)
-            for index, (caller, callee) in enumerate(edges):
-                before = (self.baseline_plan[caller], self.baseline_plan[callee])
-                request = self.footprint.request_bytes(api, caller, callee)
-                response = self.footprint.response_bytes(api, caller, callee)
-                for caller_loc in range(n_locations):
-                    for callee_loc in range(n_locations):
-                        after = (caller_loc, callee_loc)
-                        if after == before:
-                            continue
-                        try:
-                            table[index, caller_loc, callee_loc] = (
-                                self.network.extra_delay_ms(
-                                    before, after, request, response
-                                )
-                            )
-                        except KeyError:
-                            missing[index, caller_loc, callee_loc] = True
-            position = {c: i for i, c in enumerate(self._touched[api])}
-            src_pos = np.asarray([position[c] for c, _ in edges], dtype=np.intp)
-            dst_pos = np.asarray([position[c] for _, c in edges], dtype=np.intp)
-            cached = (n_locations, table, missing, src_pos, dst_pos)
+            if self._artifact_cache is not None:
+                # Content-complete key: a table is a function of the edge list, the
+                # touched components' baseline placements, the per-edge footprint
+                # bytes, the network links and the location count.  Consumers only
+                # ever read the arrays, so cross-model sharing is safe.
+                edges = self._edges[api]
+                key = (
+                    "delta",
+                    api,
+                    tuple(edges),
+                    tuple(self.baseline_plan[c] for c in self._touched[api]),
+                    tuple(
+                        (
+                            self.footprint.request_bytes(api, caller, callee),
+                            self.footprint.response_bytes(api, caller, callee),
+                        )
+                        for caller, callee in edges
+                    ),
+                    fingerprint_network(self.network),
+                    n_locations,
+                )
+                cached = self._artifact_cache.get_or_build(
+                    key, lambda: self._build_delta_table(api, n_locations)
+                )
+            else:
+                cached = self._build_delta_table(api, n_locations)
             self._delta_tables[api] = cached
         return cached
+
+    def _build_delta_table(
+        self, api: str, n_locations: int
+    ) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        edges = self._edges[api]
+        table = np.zeros((len(edges), n_locations, n_locations), dtype=np.float64)
+        missing = np.zeros(table.shape, dtype=bool)
+        for index, (caller, callee) in enumerate(edges):
+            before = (self.baseline_plan[caller], self.baseline_plan[callee])
+            request = self.footprint.request_bytes(api, caller, callee)
+            response = self.footprint.response_bytes(api, caller, callee)
+            for caller_loc in range(n_locations):
+                for callee_loc in range(n_locations):
+                    after = (caller_loc, callee_loc)
+                    if after == before:
+                        continue
+                    try:
+                        table[index, caller_loc, callee_loc] = (
+                            self.network.extra_delay_ms(
+                                before, after, request, response
+                            )
+                        )
+                    except KeyError:
+                        missing[index, caller_loc, callee_loc] = True
+        position = {c: i for i, c in enumerate(self._touched[api])}
+        src_pos = np.asarray([position[c] for c, _ in edges], dtype=np.intp)
+        dst_pos = np.asarray([position[c] for _, c in edges], dtype=np.intp)
+        return (n_locations, table, missing, src_pos, dst_pos)
 
     def _delta_rows_for(
         self, api: str, matrix: np.ndarray, columns: np.ndarray
@@ -734,9 +855,25 @@ class ApiPerformanceModel:
         """The cross-API fused program, built lazily and shared with every view."""
         program = self._fused_state.get("program")
         if program is None:
-            program = FusedProgram(
-                {api: self._compiled_set(api) for api in self._apis}, self._apis
-            )
+            if self._artifact_cache is not None:
+                # The program is determined by the per-API compiled identities plus
+                # the API order, so the fused key composes the per-API keys.
+                key = (
+                    "fused",
+                    tuple(self._apis),
+                    tuple(self._trace_fingerprint(api) for api in self._apis),
+                )
+                program = self._artifact_cache.get_or_build(
+                    key,
+                    lambda: FusedProgram(
+                        {api: self._compiled_set(api) for api in self._apis},
+                        self._apis,
+                    ),
+                )
+            else:
+                program = FusedProgram(
+                    {api: self._compiled_set(api) for api in self._apis}, self._apis
+                )
             self._fused_state["program"] = program
         return program
 

@@ -176,6 +176,17 @@ class ScenarioSpec:
             key = key + (tuple(fault.key() for fault in self.faults),)
         return key
 
+    def identity_key(self) -> Tuple:
+        """Name-stripped compiled identity: equal keys ⇒ identical compiled artifacts.
+
+        Two specs that differ only in ``name`` (and ``weight``) drive the exact same
+        scaled estimate, scenario footprint, performance view and cost model.  The
+        adversary dedups probe specs on this key, and the evaluator reuses compiled
+        scenario state across it, so re-certification never recompiles a workload
+        shape it has already seen under another name.
+        """
+        return self.compile_key()[1:]
+
     def key(self) -> Tuple:
         """Canonical hashable identity used by the evaluator's result caches."""
         return self.compile_key() + (float(self.weight),)

@@ -1,11 +1,18 @@
 """Advisor facade and plan-selection helpers."""
 
-from .advisor import ApplicationKnowledge, Atlas, AtlasConfig, Recommendation
+from .advisor import (
+    AdvisorService,
+    ApplicationKnowledge,
+    Atlas,
+    AtlasConfig,
+    Recommendation,
+)
 from .hierarchy import PlanCluster, PlanHierarchy
 
 __all__ = [
     "Atlas",
     "AtlasConfig",
+    "AdvisorService",
     "ApplicationKnowledge",
     "Recommendation",
     "PlanCluster",

@@ -43,6 +43,13 @@ from ..quality.adversary import (
     RobustnessCertificate,
     ScenarioAdversary,
 )
+from ..quality.artifacts import (
+    ArtifactCache,
+    _sha,
+    fingerprint_footprint,
+    fingerprint_network,
+    fingerprint_traces,
+)
 from ..quality.availability import ApiAvailabilityModel
 from ..quality.cost import CloudCostModel, PricingCatalog
 from ..quality.evaluator import PlanQuality, QualityEvaluator
@@ -54,7 +61,13 @@ from ..quality.scenarios import RobustAggregator, ScenarioSet, ScenarioSpec, Wor
 from ..telemetry.server import TelemetryServer
 from .hierarchy import PlanHierarchy
 
-__all__ = ["AtlasConfig", "ApplicationKnowledge", "Recommendation", "Atlas"]
+__all__ = [
+    "AtlasConfig",
+    "ApplicationKnowledge",
+    "Recommendation",
+    "Atlas",
+    "AdvisorService",
+]
 
 #: Scenario-evaluation budget of ``Atlas.recommend(certify=True)`` — enough for the
 #: stress-family seeds plus a couple of coordinate-descent passes on small testbeds.
@@ -340,8 +353,16 @@ class Atlas:
         preferences: Optional[MigrationPreferences] = None,
         performance_engine: str = "compiled",
         problem: Optional[PlacementProblem] = None,
+        artifact_cache: Optional[ArtifactCache] = None,
     ) -> QualityEvaluator:
         """Build the quality evaluator for a period of interest.
+
+        ``artifact_cache`` (opt-in) is the warm path: a
+        :class:`~repro.quality.artifacts.ArtifactCache` shared across evaluator
+        builds — typically owned by an :class:`AdvisorService` — lets repeated
+        builds over the same testbed reuse compiled trace sets, fused programs and
+        Δ tables by content fingerprint instead of recompiling.  ``None`` (the
+        default) compiles from scratch, byte-identical to previous releases.
 
         ``expected_scale`` scales the observed traffic (the paper's 5x burst); passing
         explicit ``api_rates`` overrides it with any expected traffic forecast.
@@ -382,6 +403,7 @@ class Atlas:
             baseline_plan=self.current_plan,
             traces_per_api=self.config.traces_per_api,
             engine=performance_engine,
+            artifact_cache=artifact_cache,
         )
         availability = ApiAvailabilityModel(
             stateful_components_by_api=knowledge.stateful_components_by_api(),
@@ -426,6 +448,7 @@ class Atlas:
         certify: Union[None, bool, int] = None,
         parallel: Optional[int] = None,
         anytime: Optional[int] = None,
+        artifact_cache: Optional[ArtifactCache] = None,
     ) -> Recommendation:
         """Run the DRL-based genetic search and return the Pareto-optimal plans.
 
@@ -491,6 +514,7 @@ class Atlas:
             api_rates=api_rates,
             preferences=preferences,
             problem=problem,
+            artifact_cache=artifact_cache,
         )
         scenario_set = problem.scenarios
         bound_aggregator = evaluator.bound_aggregator
@@ -573,7 +597,21 @@ class Atlas:
         if not update.needs_recertification:
             return recommendation.certificate
         evaluator = recommendation.evaluator
-        evaluator.invalidate_for_scenario(apis=update.drifted_apis)
+        if update.refreshed_traces:
+            # Incremental path: the monitoring plane supplied re-profiled traces
+            # for (some of) the drifted APIs — splice replaces exactly those APIs'
+            # compiled state in O(K) instead of dropping everything.  APIs that
+            # drifted without a fresh trace window still invalidate wholesale.
+            evaluator.splice(update.refreshed_traces)
+            remaining = [
+                api
+                for api in update.drifted_apis
+                if api not in update.refreshed_traces
+            ]
+            if remaining:
+                evaluator.invalidate_for_scenario(apis=remaining)
+        else:
+            evaluator.invalidate_for_scenario(apis=update.drifted_apis)
         extra: Tuple[ScenarioSpec, ...] = ()
         if update.scenario is not None and base_scenario is not None:
             extra = (
@@ -684,3 +722,154 @@ class Atlas:
         if self.telemetry is None:
             raise RuntimeError("Atlas.learn() must be called before this operation")
         return self.telemetry
+
+
+def _describe(value: object) -> Optional[str]:
+    """Content-stable description of one request argument, or ``None`` if there is none.
+
+    Dataclass/value-object reprs describe content; a default ``object.__repr__``
+    (recognizable by its ``" object at 0x"`` id) describes only identity, so a key
+    built from it would collide across distinct contents once ids are reused.
+    Returning ``None`` marks the request unmemoizable — a miss is sound, a
+    collision is not.
+    """
+    text = repr(value)
+    if " object at 0x" in text:
+        return None
+    return text
+
+
+class AdvisorService:
+    """Long-lived warm-path front door for repeated / multi-tenant recommendations.
+
+    One service instance owns a single :class:`~repro.quality.artifacts.ArtifactCache`
+    and threads it through every :meth:`recommend` call, so N tenants advising over
+    the same testbed share one physical compile of every trace set, Δ table and
+    fused program — and a second request with an identical content fingerprint is
+    answered from the request memo without re-running the search at all (sound
+    because the seeded search is deterministic: identical inputs ⇒ identical
+    recommendation).
+
+    >>> service = AdvisorService()
+    >>> service.register("team-a", atlas_a)
+    >>> rec = service.recommend("team-a", expected_scale=5.0)   # cold: compiles + searches
+    >>> rec = service.recommend("team-a", expected_scale=5.0)   # warm: memo hit
+
+    The memo returns the cached :class:`Recommendation` object itself; requests
+    whose arguments cannot be described by content (an object with a default
+    ``repr``) skip the memo but still warm the artifact cache.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ArtifactCache] = None,
+        max_recommendations: int = 32,
+    ) -> None:
+        #: Compiled-artifact cache shared by every evaluator this service builds.
+        self.cache = cache if cache is not None else ArtifactCache()
+        #: Request-level memo: full recommendation fingerprint -> Recommendation.
+        self.recommendations = ArtifactCache(max_entries=max_recommendations)
+        self._tenants: Dict[str, Atlas] = {}
+
+    # -- tenants ----------------------------------------------------------------------------
+    def register(self, name: str, atlas: Atlas) -> Atlas:
+        """Register a tenant's advisor under ``name`` (returned for chaining)."""
+        self._tenants[name] = atlas
+        return atlas
+
+    def tenant(self, name: str) -> Atlas:
+        if name not in self._tenants:
+            raise KeyError(f"no tenant registered under {name!r}")
+        return self._tenants[name]
+
+    @property
+    def tenants(self) -> List[str]:
+        return sorted(self._tenants)
+
+    # -- serving ----------------------------------------------------------------------------
+    def recommend(self, atlas: Union[str, Atlas], **kwargs) -> Recommendation:
+        """Serve one recommendation against the warm cache.
+
+        ``atlas`` is a registered tenant name or an :class:`Atlas` instance;
+        ``kwargs`` are forwarded to :meth:`Atlas.recommend` verbatim (plus the
+        service's shared artifact cache).  When the request's content fingerprint —
+        learned traces, footprint, network, estimator state, current plan, config
+        and every argument — matches a previous call, the memoized recommendation
+        is returned without recompiling or re-searching.
+        """
+        if isinstance(atlas, str):
+            atlas = self.tenant(atlas)
+        key = self._request_key(atlas, kwargs)
+        if key is None:
+            return atlas.recommend(artifact_cache=self.cache, **kwargs)
+        return self.recommendations.get_or_build(
+            key, lambda: atlas.recommend(artifact_cache=self.cache, **kwargs)
+        )
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Warm-path observability: artifact-cache and request-memo counters."""
+        return {
+            "artifacts": self.cache.stats(),
+            "recommendations": self.recommendations.stats(),
+        }
+
+    # -- request fingerprinting -------------------------------------------------------------
+    def _request_key(self, atlas: Atlas, kwargs: Mapping[str, object]) -> Optional[Tuple]:
+        """Content fingerprint of one recommend request, or ``None`` when unmemoizable.
+
+        Covers everything the (deterministic, seeded) search consumes: the learned
+        knowledge (per-API trace sets, stateful components, footprint, fitted
+        estimator state), the network, the baseline plan, the topology, the config
+        and the call's own arguments.  Equal keys therefore imply an identical
+        recommendation; any argument without a content-stable description makes the
+        whole request unmemoizable (a miss, never a wrong hit).
+        """
+        knowledge = atlas.knowledge
+        if knowledge is None:
+            return None  # recommend() will raise its own RuntimeError
+        parts: List[str] = []
+        for api in knowledge.apis:
+            profile = knowledge.api_profiles[api]
+            parts.append(api)
+            parts.append(fingerprint_traces(profile.sample_traces))
+            parts.append(",".join(sorted(profile.stateful_components)))
+        parts.append(fingerprint_footprint(knowledge.footprint))
+        parts.append(self._estimator_fingerprint(knowledge.estimator))
+        parts.append(fingerprint_network(atlas.network))
+        parts.append(repr(sorted(atlas.current_plan.items())))
+        parts.append(repr(list(atlas.locations)))
+        parts.append(repr(atlas.application.component_names))
+        parts.append(
+            repr(
+                [
+                    (comp.name, comp.resources.storage_gb)
+                    for comp in atlas.application.components
+                ]
+            )
+        )
+        for described in (
+            atlas.preferences,
+            atlas.config,
+            sorted(atlas._pricing_catalogs().items()),
+        ):
+            text = _describe(described)
+            if text is None:
+                return None
+            parts.append(text)
+        for name in sorted(kwargs):
+            value = kwargs[name]
+            if name == "api_rates" and isinstance(value, Mapping):
+                value = sorted((api, list(series)) for api, series in value.items())
+            text = _describe(value)
+            if text is None:
+                return None
+            parts.append(f"{name}={text}")
+        return ("recommend", _sha(parts))
+
+    @staticmethod
+    def _estimator_fingerprint(estimator: ResourceEstimator) -> str:
+        """Content fingerprint of the fitted attribution models (idle + coefficients)."""
+        parts = [repr(estimator.apis)]
+        for (resource, component), (idle, coef) in sorted(estimator._models.items()):
+            parts.append(f"{resource}|{component}|{idle!r}|{coef.tobytes().hex()}")
+        return _sha(parts)

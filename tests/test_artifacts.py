@@ -1,0 +1,501 @@
+"""Warm-path laws: artifact cache, content fingerprints, splice ≡ rebuild, serving.
+
+Four contracts guard the warm path:
+
+* :class:`ArtifactCache` is a plain LRU with observable counters — no result may
+  ever depend on whether it is present (cached artifacts are bitwise the fresh ones).
+* Content fingerprints are exactly as fine as compilation: distinct trace sets get
+  distinct keys, re-profiled-but-identical content gets the same key.
+* ``splice`` (compiled set, performance model, evaluator) is a *rebuild*, not an
+  approximation: bitwise-identical to compiling the refreshed traces from scratch,
+  over random topologies and random dirty-API subsets, on both engines.
+* The :class:`AdvisorService` memo returns the cold answer — across calls and
+  across Atlas instances — and refuses to memoize requests it cannot key by content.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fingerprints import build_tiny_evaluator
+from test_compiled import _random_plans, random_delays, random_trace
+
+from repro.cluster import MigrationPlan, default_network_model
+from repro.learning import ApiProfiler, FootprintLearner
+from repro.monitoring.drift import DriftDetector, DriftReport, DriftScenarioUpdate
+from repro.optimizer import GAConfig
+from repro.quality import (
+    ApiPerformanceModel,
+    ArtifactCache,
+    CompiledTraceSet,
+    MigrationPreferences,
+    ScenarioSpec,
+    fingerprint_footprint,
+    fingerprint_network,
+    fingerprint_traces,
+)
+from repro.recommend import AdvisorService, Atlas, AtlasConfig
+from repro.telemetry import Span, Trace
+from repro.workload import default_scenario
+
+TINY_GA = GAConfig(
+    population_size=12,
+    offspring_per_generation=6,
+    evaluation_budget=120,
+    train_iterations=8,
+    train_batch_size=2,
+    train_pairs=6,
+    seed=7,
+)
+
+
+def _perturb(trace: Trace, scale: float) -> Trace:
+    """The same trace with all timings scaled — new content, same invocation edges."""
+    spans = [
+        dataclasses.replace(
+            span, start_ms=span.start_ms * scale, duration_ms=span.duration_ms * scale
+        )
+        for span in trace.spans
+    ]
+    return trace.with_spans(spans)
+
+
+def _arrays_of(program):
+    """Every numpy array of a compiled set / fused program, in deterministic order."""
+    arrays = [
+        a
+        for a in (
+            getattr(program, name, None)
+            for name in ("root_idx", "root_start", "_root_idx", "_root_start")
+        )
+        if isinstance(a, np.ndarray)
+    ]
+    for level in program._levels:
+        for slot in level.__slots__:
+            value = getattr(level, slot)
+            if isinstance(value, np.ndarray):
+                arrays.append(value)
+    return arrays
+
+
+def _assert_bitwise(left, right):
+    left_arrays, right_arrays = _arrays_of(left), _arrays_of(right)
+    assert len(left_arrays) == len(right_arrays)
+    for a, b in zip(left_arrays, right_arrays):
+        assert a.dtype == b.dtype
+        assert a.tobytes() == b.tobytes()
+
+
+# -- the cache itself -------------------------------------------------------------------------
+class TestArtifactCache:
+    def test_miss_builds_then_hit_returns_same_object(self):
+        cache = ArtifactCache()
+        built = cache.get_or_build(("k",), lambda: [1, 2, 3])
+        again = cache.get_or_build(("k",), lambda: [4, 5, 6])
+        assert again is built
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "evictions": 0}
+        assert ("k",) in cache and len(cache) == 1
+
+    def test_lru_eviction_order_respects_hits(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.get_or_build(("a",), lambda: "A")
+        cache.get_or_build(("b",), lambda: "B")
+        cache.get_or_build(("a",), lambda: "A'")  # hit: a becomes most-recent
+        cache.get_or_build(("c",), lambda: "C")  # evicts b, not a
+        assert ("a",) in cache and ("c",) in cache and ("b",) not in cache
+        assert cache.evictions == 1
+        assert cache.get_or_build(("b",), lambda: "B2") == "B2"  # b was truly gone
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+
+    def test_clear_drops_entries_keeps_lifetime_counters(self):
+        cache = ArtifactCache()
+        cache.get_or_build(("k",), lambda: 1)
+        cache.get_or_build(("k",), lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1 and cache.misses == 1
+
+
+# -- fingerprints -----------------------------------------------------------------------------
+class TestFingerprints:
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_trace_sets_get_distinct_keys(self, seed):
+        rng = np.random.default_rng(seed)
+        traces = [random_trace(rng, f"t{k}") for k in range(3)]
+        base = fingerprint_traces(traces)
+        # Any single-span timing tweak must move the key.
+        tweaked = list(traces)
+        tweaked[1] = _perturb(traces[1], 1.0000001)
+        assert fingerprint_traces(tweaked) != base
+        # So must dropping or reordering a trace.
+        assert fingerprint_traces(traces[:2]) != base
+        assert fingerprint_traces(traces[::-1]) != base
+
+    def test_reprofiled_identical_content_hits_the_same_key(self):
+        spans = [
+            Span("t1", "s0", None, "A", "op", 0.0, 10.0),
+            Span("t1", "s1", "s0", "B", "op", 1.0, 4.0),
+        ]
+        respans = [
+            Span("t9", "x0", None, "A", "op", 0.0, 10.0),
+            Span("t9", "x1", "x0", "B", "op", 1.0, 4.0),
+        ]
+        # Different trace/span ids, same structure: the compiled arrays would be
+        # identical, so the key must be too.
+        assert fingerprint_traces([Trace("t1", "/api", spans)]) == fingerprint_traces(
+            [Trace("t9", "/api", respans)]
+        )
+        # ...but the API name is part of the compiled identity.
+        assert fingerprint_traces([Trace("t1", "/api", spans)]) != fingerprint_traces(
+            [Trace("t1", "/other", spans)]
+        )
+
+    def test_network_fingerprint_tracks_link_content(self):
+        a, b = default_network_model(), default_network_model()
+        assert fingerprint_network(a) == fingerprint_network(b)
+        (pair, link) = next(iter(sorted(b._links.items())))
+        b._links[pair] = dataclasses.replace(link, latency_ms=link.latency_ms + 0.5)
+        assert fingerprint_network(a) != fingerprint_network(b)
+
+    def test_footprint_fingerprint_tracks_edge_bytes(self, tiny_telemetry):
+        _app, result = tiny_telemetry
+        one = FootprintLearner(result.telemetry).learn()
+        two = FootprintLearner(result.telemetry).learn()
+        assert fingerprint_footprint(one) == fingerprint_footprint(two)
+        api = one.apis[0]
+        pair, edge = next(iter(sorted(two._by_api[api].items())))
+        two._by_api[api][pair] = dataclasses.replace(
+            edge, request_bytes=edge.request_bytes + 1.0
+        )
+        assert fingerprint_footprint(one) != fingerprint_footprint(two)
+
+
+# -- cross-instance artifact reuse ------------------------------------------------------------
+@pytest.fixture()
+def tiny_model_factory(tiny_telemetry):
+    """Factory of tiny-app performance models with an optional shared cache."""
+    app, result = tiny_telemetry
+    telemetry = result.telemetry
+    baseline = MigrationPlan.all_on_prem(app.component_names)
+    profiles = ApiProfiler(
+        telemetry, stateful_components=app.stateful_components(), traces_per_api=20
+    ).profile_all()
+    footprint = FootprintLearner(telemetry).learn()
+    network = default_network_model()
+
+    def build(engine="compiled", cache=None, traces=None):
+        return ApiPerformanceModel(
+            traces_by_api=traces
+            or {api: p.sample_traces for api, p in profiles.items()},
+            footprint=footprint,
+            network=network,
+            baseline_plan=baseline,
+            traces_per_api=20,
+            engine=engine,
+            artifact_cache=cache,
+        )
+
+    return app, build
+
+
+class TestCrossInstanceReuse:
+    def test_two_models_share_one_physical_compile(self, tiny_model_factory):
+        app, build = tiny_model_factory
+        cache = ArtifactCache()
+        one, two = build(cache=cache), build(cache=cache)
+        for api in one.apis:
+            assert one._compiled_set(api) is two._compiled_set(api)
+        assert cache.hits >= len(one.apis)
+        # Δ tables are shared too (same traces, plan, bytes, network, locations).
+        assert one._delta_table(one.apis[0], 2) is two._delta_table(two.apis[0], 2)
+
+    def test_fused_program_shared_and_results_cache_independent(self, tiny_model_factory):
+        app, build = tiny_model_factory
+        cache = ArtifactCache()
+        one, two = build("fused", cache=cache), build("fused", cache=cache)
+        assert one._fused_program() is two._fused_program()
+        plain = build("fused")
+        for plan in _random_plans(app, 6):
+            want = plain.qperf(plan)
+            assert one.qperf(plan) == want  # cached artifacts are bitwise the fresh ones
+            assert two.qperf(plan) == want
+
+    def test_distinct_content_never_false_shares(self, tiny_model_factory):
+        app, build = tiny_model_factory
+        cache = ArtifactCache()
+        one = build(cache=cache)
+        api = one.apis[0]
+        perturbed = {a: list(one._traces[a]) for a in one.apis}
+        perturbed[api] = [_perturb(t, 1.01) for t in perturbed[api]]
+        two = build(cache=cache, traces=perturbed)
+        assert one._compiled_set(api) is not two._compiled_set(api)
+        # The unchanged APIs still share.
+        for other in one.apis:
+            if other != api:
+                assert one._compiled_set(other) is two._compiled_set(other)
+
+
+# -- splice ≡ rebuild -------------------------------------------------------------------------
+class TestSpliceEquivalence:
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_splice_bitwise_on_random_topologies(self, seed):
+        rng = np.random.default_rng(seed)
+        traces = [random_trace(rng, f"t{k}") for k in range(int(rng.integers(2, 7)))]
+        edges = sorted({e for t in traces for e in t.invocation_edges()})
+        base = CompiledTraceSet(traces, edges)
+        dirty = [
+            pos for pos in range(len(traces)) if rng.random() < 0.5
+        ] or [int(rng.integers(0, len(traces)))]
+        new_traces = [
+            _perturb(t, 1.0 + 0.01 * (1 + pos)) if pos in dirty else t
+            for pos, t in enumerate(traces)
+        ]
+        spliced = base.splice(new_traces)
+        rebuilt = CompiledTraceSet(new_traces, edges)
+        _assert_bitwise(spliced, rebuilt)
+        # Clean positions reuse the already-compiled fragment by identity.
+        for pos in range(len(traces)):
+            if pos not in dirty:
+                assert spliced._fragments[pos] is base._fragments[pos]
+        delays = random_delays(rng, edges)
+        assert spliced.latencies(delays) == rebuilt.latencies(delays)
+
+    @pytest.mark.parametrize("engine", ["compiled", "fused"])
+    def test_model_splice_bitwise_vs_fresh_model(self, tiny_model_factory, engine):
+        app, build = tiny_model_factory
+        rng = np.random.default_rng(5)
+        model = build(engine)
+        # Warm every artifact first: splice must refresh, not merely drop.
+        for plan in _random_plans(app, 4):
+            model.qperf(plan)
+        apis = model.apis
+        targets = apis[: max(1, len(apis) // 2)]
+        fresh = {a: [_perturb(t, 1.02) for t in model._traces[a]] for a in targets}
+        model.splice(fresh)
+        new_traces = {a: list(model._traces[a]) for a in apis}
+        rebuilt = build(engine, traces=new_traces)
+        for api in apis:
+            _assert_bitwise(model._compiled_set(api), rebuilt._compiled_set(api))
+        if engine == "fused":
+            _assert_bitwise(model._fused_program(), rebuilt._fused_program())
+        for plan in _random_plans(app, 8, seed=23):
+            assert model.qperf(plan) == rebuilt.qperf(plan)
+            for api in apis:
+                assert model.estimate(api, plan).estimated_latencies_ms == (
+                    rebuilt.estimate(api, plan).estimated_latencies_ms
+                )
+
+    def test_model_splice_validates_inputs(self, tiny_model_factory):
+        _app, build = tiny_model_factory
+        model = build()
+        with pytest.raises(KeyError):
+            model.splice({"/nope": model._traces[model.apis[0]]})
+        with pytest.raises(ValueError):
+            model.splice({model.apis[0]: []})
+
+    def test_evaluator_splice_matches_fresh_stack(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        telemetry = result.telemetry
+        spliced_ev = build_tiny_evaluator(app, telemetry)
+        api = spliced_ev.performance.apis[0]
+        spec = ScenarioSpec(name="burst", rate_scale=2.0, payload_factors={api: 1.5})
+        plans = _random_plans(app, 6, seed=31)
+        # Warm result caches and a compiled scenario view, then splice.
+        for plan in plans[:3]:
+            spliced_ev.evaluate(plan)
+        spliced_ev._scenario_context(spec)
+        fresh_traces = {
+            api: [_perturb(t, 1.03) for t in spliced_ev.performance._traces[api]]
+        }
+        spliced_ev.splice(fresh_traces)
+
+        fresh_ev = build_tiny_evaluator(app, telemetry)
+        fresh_ev.performance.splice(fresh_traces)  # same traces, cache-cold stack
+        for plan in plans:
+            assert spliced_ev.evaluate(plan).objectives() == (
+                fresh_ev.evaluate(plan).objectives()
+            )
+        spliced_view = spliced_ev._scenario_context(spec).performance
+        fresh_view = fresh_ev._scenario_context(spec).performance
+        for plan in plans:
+            assert spliced_view.qperf(plan) == fresh_view.qperf(plan)
+
+
+# -- scenario-state reuse across probe names --------------------------------------------------
+class TestScenarioStateReuse:
+    def test_same_identity_different_name_shares_compiled_state(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        evaluator = build_tiny_evaluator(app, result.telemetry)
+        api = evaluator.performance.apis[0]
+        probe_a = ScenarioSpec(name="probe-1", rate_scale=1.5, payload_factors={api: 2.0})
+        probe_b = ScenarioSpec(name="probe-2", rate_scale=1.5, payload_factors={api: 2.0})
+        context_a = evaluator._scenario_context(probe_a)
+        context_b = evaluator._scenario_context(probe_b)
+        # The adversary probes identical workload shapes under throwaway names:
+        # one compile, shared by reference; the spec keeps the caller's name.
+        assert context_b.performance is context_a.performance
+        assert context_b.spec.name == "probe-2"
+        different = ScenarioSpec(name="probe-3", rate_scale=1.5, payload_factors={api: 3.0})
+        assert evaluator._scenario_context(different).performance is not context_a.performance
+
+    def test_invalidation_forces_a_true_recompile(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        evaluator = build_tiny_evaluator(app, result.telemetry)
+        api = evaluator.performance.apis[0]
+        spec = ScenarioSpec(name="burst", rate_scale=2.0, payload_factors={api: 1.5})
+        before = evaluator._scenario_context(spec)
+        evaluator.invalidate_for_scenario("burst")
+        after = evaluator._scenario_context(spec)
+        assert after is not before
+        # The identity-keyed state must not resurrect the invalidated compile:
+        # the payload-scaled performance view is derived anew.
+        assert after.performance is not before.performance
+
+
+# -- the serving front door -------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_atlas_pair(tiny_telemetry):
+    """Two independently learned Atlas instances over the same telemetry."""
+    app, result = tiny_telemetry
+
+    def learn():
+        atlas = Atlas(
+            app,
+            MigrationPreferences.pin_on_prem(["Database"]),
+            config=AtlasConfig(traces_per_api=15, ga=TINY_GA),
+        )
+        atlas.learn(result.telemetry)
+        return atlas
+
+    return learn(), learn()
+
+
+class OpaquePreferences(MigrationPreferences):
+    """Preferences without a content repr — must make requests unmemoizable."""
+
+    __repr__ = object.__repr__
+
+
+class TestAdvisorService:
+    def test_memo_hit_across_calls_and_instances(self, tiny_atlas_pair):
+        atlas, twin = tiny_atlas_pair
+        service = AdvisorService()
+        cold = service.recommend(atlas, expected_scale=2.0)
+        warm = service.recommend(atlas, expected_scale=2.0)
+        assert warm is cold
+        # A different Atlas instance with identical learned content: same key.
+        other = service.recommend(twin, expected_scale=2.0)
+        assert other is cold
+        assert service.recommendations.stats()["hits"] == 2
+        assert service.cache.stats()["misses"] > 0  # artifacts were compiled once
+
+    def test_different_request_content_misses(self, tiny_atlas_pair):
+        atlas, _ = tiny_atlas_pair
+        service = AdvisorService()
+        one = service.recommend(atlas, expected_scale=2.0)
+        two = service.recommend(atlas, expected_scale=2.5)
+        assert two is not one
+        assert service.recommendations.stats()["misses"] == 2
+
+    def test_memoized_answer_is_the_cold_answer(self, tiny_atlas_pair):
+        atlas, _ = tiny_atlas_pair
+        service = AdvisorService()
+        served = service.recommend(atlas, expected_scale=2.0)
+        direct = atlas.recommend(expected_scale=2.0)
+        assert [
+            (q.plan.to_vector(), repr(tuple(q.objectives()))) for q in served.plans
+        ] == [(q.plan.to_vector(), repr(tuple(q.objectives()))) for q in direct.plans]
+
+    def test_unmemoizable_arguments_bypass_the_memo(self, tiny_telemetry):
+        app, result = tiny_telemetry
+        atlas = Atlas(
+            app,
+            OpaquePreferences(),
+            config=AtlasConfig(traces_per_api=15, ga=TINY_GA),
+        )
+        atlas.learn(result.telemetry)
+        service = AdvisorService()
+        assert service._request_key(atlas, {}) is None
+        recommendation = service.recommend(atlas, expected_scale=2.0)
+        assert recommendation.plans
+        assert len(service.recommendations) == 0  # a miss is sound, a collision is not
+
+    def test_tenant_registry(self, tiny_atlas_pair):
+        atlas, twin = tiny_atlas_pair
+        service = AdvisorService()
+        assert service.register("team-a", atlas) is atlas
+        service.register("team-b", twin)
+        assert service.tenants == ["team-a", "team-b"]
+        assert service.tenant("team-a") is atlas
+        with pytest.raises(KeyError):
+            service.tenant("team-c")
+        served = service.recommend("team-a", expected_scale=2.0)
+        assert service.recommend("team-b", expected_scale=2.0) is served
+
+    def test_unlearned_atlas_still_raises_cleanly(self, tiny_app):
+        service = AdvisorService()
+        with pytest.raises(RuntimeError):
+            service.recommend(Atlas(tiny_app))
+
+
+# -- the drift → splice loop ------------------------------------------------------------------
+class TestDriftSpliceLoop:
+    def _detector(self):
+        rng = np.random.default_rng(3)
+        approx = {"/read": list(rng.normal(50, 2, 40)), "/write": list(rng.normal(80, 2, 40))}
+        real = {api: [v + 1.0 for v in series] for api, series in approx.items()}
+        return DriftDetector(approx, real, threshold_factor=5.0)
+
+    def test_check_all_threads_traces_for_drifted_apis_only(self, tiny_app):
+        detector = self._detector()
+        recent = {
+            "/read": [150.0 + i for i in range(40)],  # drifted hard
+            "/write": [81.0 + 0.01 * i for i in range(40)],  # still on-model
+        }
+        spans = [Span("t", "s0", None, "A", "op", 0.0, 5.0)]
+        traces = {"/read": [Trace("t", "/read", spans)], "/write": [Trace("t", "/write", spans)]}
+
+        # Without a scenario the historical mapping comes back unchanged, traces or not.
+        plain = detector.check_all(recent, traces_by_api=traces)
+        assert isinstance(plain, dict)
+        assert plain["/read"].drift_detected and not plain["/write"].drift_detected
+
+        base = default_scenario(tiny_app)
+        update = detector.check_all(recent, scenario=base, traces_by_api=traces)
+        assert isinstance(update, DriftScenarioUpdate)
+        assert update.drifted_apis == ["/read"]
+        # Only the drifted API's trace window rides along into the splice path.
+        assert sorted(update.refreshed_traces) == ["/read"]
+        assert update.refreshed_traces["/read"] == traces["/read"]
+        # No trace window supplied: the historical invalidate-and-rebuild fallback.
+        assert detector.check_all(recent, scenario=base).refreshed_traces == {}
+
+    def test_recertify_uses_the_splice_path(self, tiny_atlas_pair):
+        atlas, _ = tiny_atlas_pair
+        recommendation = atlas.recommend(expected_scale=2.0)
+        evaluator = recommendation.evaluator
+        api = evaluator.performance.apis[0]
+        executed = recommendation.knee_point().plan
+        refreshed = [_perturb(t, 1.04) for t in evaluator.performance._traces[api]]
+        report = DriftReport(
+            api=api, baseline_divergence=0.1, recent_divergence=2.0, threshold_factor=5.0
+        )
+        update = DriftScenarioUpdate(
+            reports={api: report},
+            scenario=None,
+            refreshed_traces={api: refreshed},
+        )
+        assert update.needs_recertification
+        certificate = atlas.recertify(recommendation, executed, update, budget=6)
+        assert certificate is not None
+        assert recommendation.certificate is certificate
+        # The refreshed traces were installed in place (splice, not invalidate).
+        assert evaluator.performance._traces[api] == refreshed[-15:]
