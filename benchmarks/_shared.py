@@ -34,6 +34,10 @@ BENCH_EVAL_THROUGHPUT_PATH = (
 #: recommend latency, splice vs full-rebuild time; rendered by ``benchmarks/report.py``).
 BENCH_WARM_PATH_PATH = Path(__file__).resolve().parent.parent / "BENCH_warm_path.json"
 
+#: Append-run metrics ledger of the durable serving benchmarks (cold recommend vs
+#: warm process restart over the artifact store; rendered by ``benchmarks/report.py``).
+BENCH_SERVING_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
 #: Search budget (plans visited) shared by Atlas, the affinity GA and random search.
 SEARCH_BUDGET = 2_500
 

@@ -1,0 +1,274 @@
+"""Kill-and-restart smoke for the :class:`~repro.serving.daemon.AdvisorDaemon` (CI gate).
+
+The daemon's durability contract: killed right after *any* stage checkpoint, a
+fresh process constructed over the same artifact store resumes the in-flight
+cycle and lands on the **bitwise-identical** recommendation front an
+uninterrupted run produces.  This script proves it with real processes:
+
+* **child mode** (``--child --store DIR [--kill-after STAGE]``) builds a fully
+  deterministic two-cycle daemon world (tiny 6-component app, seeded telemetry,
+  seeded search, scripted monitor) over ``DIR`` and runs cycles to completion;
+  with ``--kill-after`` it dies via ``os._exit`` right after that stage's
+  checkpoint of cycle 2 — no cleanup, no flushing, a real crash.
+* **check mode** (``--check``, the default) orchestrates three children:
+  run A uninterrupted on store A; run B killed after the splice checkpoint on
+  store B; run C resumed on store B.  It asserts the resumed front sha equals
+  the uninterrupted one and that the resumed compile streamed artifacts from
+  the store.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serving_daemon_smoke.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Exit code the killed child dies with (distinguishes the scripted crash from bugs).
+KILL_EXIT = 17
+#: The stage checkpoint run B is killed after (mid-cycle: drift detected, traces
+#: spliced, the re-recommend still pending — the most state-laden crash point).
+KILL_STAGE = "splice"
+#: Tenant name used by every child.
+TENANT = "web"
+
+
+def _tiny_app():
+    """A 6-component, 2-API application (mirrors the test suite's tiny app)."""
+    from repro.apps import (
+        ApiEndpoint,
+        Application,
+        CallNode,
+        Component,
+        ExecutionMode,
+        PayloadSpec,
+        ResourceProfile,
+    )
+
+    service = ResourceProfile(
+        cpu_millicores_idle=10.0,
+        cpu_millicores_per_rps=5.0,
+        memory_mb_idle=32.0,
+        memory_mb_per_rps=0.2,
+    )
+    db = ResourceProfile(
+        cpu_millicores_idle=20.0,
+        cpu_millicores_per_rps=8.0,
+        memory_mb_idle=128.0,
+        memory_mb_per_rps=0.4,
+        storage_gb=10.0,
+    )
+    components = [
+        Component("Frontend", resources=service),
+        Component("ServiceA", resources=service),
+        Component("ServiceB", resources=service),
+        Component("Cache", resources=service),
+        Component("Database", stateful=True, resources=db),
+        Component("Notifier", resources=service),
+    ]
+    cache = CallNode("Cache", "Get", work_ms=0.4, payload=PayloadSpec(100.0, 900.0))
+    database = CallNode("Database", "Find", work_ms=1.5, payload=PayloadSpec(150.0, 1_200.0))
+    notifier = CallNode("Notifier", "LogAccess", work_ms=25.0, payload=PayloadSpec(80.0, 10.0))
+    service_a = CallNode("ServiceA", "Read", work_ms=1.0, payload=PayloadSpec(200.0, 1_500.0))
+    service_a.call(cache, ExecutionMode.PARALLEL, gap_ms=0.1)
+    service_a.call(database, ExecutionMode.PARALLEL, gap_ms=0.1)
+    service_a.call(notifier, ExecutionMode.BACKGROUND, gap_ms=0.1)
+    read_root = CallNode("Frontend", "/read", work_ms=0.8, payload=PayloadSpec(300.0, 2_000.0))
+    read_root.call(service_a, ExecutionMode.SEQUENTIAL, gap_ms=0.2)
+
+    database_w = CallNode("Database", "Insert", work_ms=2.0, payload=PayloadSpec(800.0, 60.0))
+    cache_w = CallNode("Cache", "Invalidate", work_ms=8.0, payload=PayloadSpec(120.0, 10.0))
+    service_b = CallNode("ServiceB", "Write", work_ms=1.2, payload=PayloadSpec(900.0, 100.0))
+    service_b.call(database_w, ExecutionMode.SEQUENTIAL, gap_ms=0.2)
+    service_b.call(cache_w, ExecutionMode.BACKGROUND, gap_ms=0.1)
+    write_root = CallNode("Frontend", "/write", work_ms=0.7, payload=PayloadSpec(1_000.0, 150.0))
+    write_root.call(service_b, ExecutionMode.SEQUENTIAL, gap_ms=0.2)
+
+    apis = [
+        ApiEndpoint("/read", read_root, weight=0.7),
+        ApiEndpoint("/write", write_root, weight=0.3),
+    ]
+    return Application("tiny-app", components, apis)
+
+
+def _perturb(trace, scale):
+    spans = [
+        dataclasses.replace(
+            span, start_ms=span.start_ms * scale, duration_ms=span.duration_ms * scale
+        )
+        for span in trace.spans
+    ]
+    return trace.with_spans(spans)
+
+
+def _build_daemon(store_dir: str):
+    """The deterministic daemon world every child process constructs identically.
+
+    Telemetry, learning and the search are all seeded; the monitor script is
+    derived from the advisor's own latency preview (cycle 1 on-model, cycle 2
+    one API drifting 6x with a re-profiled trace window) — so any process over
+    any store observes the same samples and computes the same answers.
+    """
+    from repro.optimizer import GAConfig
+    from repro.quality import MigrationPreferences
+    from repro.recommend import AdvisorService, Atlas, AtlasConfig
+    from repro.serving import AdvisorDaemon, ArtifactStore, MonitorSample, ScriptedMonitor
+    from repro.simulator import simulate_workload
+    from repro.workload import WorkloadGenerator, default_scenario
+
+    app = _tiny_app()
+    scenario = default_scenario(app, base_rps=20.0, peak_rps=30.0, duration_ms=60_000.0)
+    requests = WorkloadGenerator(app, scenario, seed=3).generate(60_000.0)
+    telemetry = simulate_workload(app, requests, seed=3).telemetry
+    atlas = Atlas(
+        app,
+        MigrationPreferences.pin_on_prem(["Database"]),
+        config=AtlasConfig(
+            traces_per_api=15,
+            ga=GAConfig(
+                population_size=12,
+                offspring_per_generation=6,
+                evaluation_budget=120,
+                train_iterations=8,
+                train_batch_size=2,
+                train_pairs=6,
+                seed=7,
+            ),
+        ),
+    )
+    atlas.learn(telemetry)
+    service = AdvisorService(store=ArtifactStore(store_dir))
+
+    # The scripted samples: cycle 1 reports exactly the advisor's preview of its
+    # own knee plan (zero-divergence baselines), cycle 2 inflates one API 6x.
+    # This recommend shares the daemon tenant's memo key, so it costs nothing
+    # extra at bootstrap and revives from the journal in resumed processes.
+    recommendation = service.recommend(atlas, expected_scale=2.0)
+    knee = recommendation.knee_point().plan
+    preview = {
+        api: [float(x) for x in estimate.estimated_latencies_ms]
+        for api, estimate in recommendation.latency_preview(knee).items()
+    }
+    target = sorted(preview)[0]
+    drifted = {
+        api: ([v * 6.0 + 25.0 for v in values] if api == target else list(values))
+        for api, values in preview.items()
+    }
+    window = [
+        _perturb(trace, 1.7)
+        for trace in atlas.knowledge.api_profiles[target].sample_traces
+    ]
+    monitor = ScriptedMonitor(
+        {
+            TENANT: [
+                MonitorSample(recent_latencies=preview),
+                MonitorSample(recent_latencies=drifted, traces_by_api={target: window}),
+            ]
+        }
+    )
+    daemon = AdvisorDaemon(service, monitor, name="smoke")
+    daemon.register(TENANT, atlas, expected_scale=2.0)
+    return daemon
+
+
+def run_child(store_dir: str, kill_after: Optional[str] = None) -> Dict:
+    """Run daemon cycles over ``store_dir``; optionally die mid-cycle-2 for real."""
+    daemon = _build_daemon(store_dir)
+
+    if kill_after is not None:
+
+        def die(tenant: str, stage: str) -> None:
+            if stage == kill_after and int(daemon.record(TENANT)["cycle"]) >= 2:
+                os._exit(KILL_EXIT)  # a real crash: no unwinding, no cleanup
+
+        daemon._after_stage = die
+
+    for _ in range(4):
+        daemon.run_cycle()
+        record = daemon.record(TENANT)
+        if int(record["cycle"]) >= 2 and record["stage"] == "done" and record["front_sha"]:
+            break
+    record = daemon.record(TENANT)
+    return {
+        "front_sha": record["front_sha"],
+        "cycle": record["cycle"],
+        "store_hits": daemon.service.cache.stats().get("store_hits", 0),
+    }
+
+
+def _spawn(script: Path, store: Path, kill_after: Optional[str], timeout_s: float) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(script.parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    argv = [sys.executable, str(script), "--child", "--store", str(store)]
+    if kill_after:
+        argv += ["--kill-after", kill_after]
+    return subprocess.run(argv, env=env, capture_output=True, text=True, timeout=timeout_s)
+
+
+def run_check(timeout_s: float = 600.0) -> Dict:
+    """The three-process kill-and-restart certification; raises on any violation."""
+    script = Path(__file__).resolve()
+    with tempfile.TemporaryDirectory(prefix="atlas-daemon-smoke-") as tmp:
+        store_a, store_b = Path(tmp) / "a", Path(tmp) / "b"
+
+        clean = _spawn(script, store_a, None, timeout_s)
+        assert clean.returncode == 0, f"uninterrupted run failed:\n{clean.stderr}"
+        uninterrupted = json.loads(clean.stdout.strip().splitlines()[-1])
+
+        killed = _spawn(script, store_b, KILL_STAGE, timeout_s)
+        assert killed.returncode == KILL_EXIT, (
+            f"expected the child to die with exit {KILL_EXIT} after the "
+            f"'{KILL_STAGE}' checkpoint, got {killed.returncode}:\n{killed.stderr}"
+        )
+
+        resumed_proc = _spawn(script, store_b, None, timeout_s)
+        assert resumed_proc.returncode == 0, f"resumed run failed:\n{resumed_proc.stderr}"
+        resumed = json.loads(resumed_proc.stdout.strip().splitlines()[-1])
+
+    assert uninterrupted["front_sha"], "uninterrupted run produced no front"
+    assert resumed["front_sha"] == uninterrupted["front_sha"], (
+        "resumed front diverged from the uninterrupted run: "
+        f"{resumed['front_sha']} != {uninterrupted['front_sha']}"
+    )
+    assert resumed["store_hits"] > 0, "resumed process recompiled instead of reusing the store"
+    verdict = {
+        "kill_stage": KILL_STAGE,
+        "front_sha": uninterrupted["front_sha"],
+        "resumed_store_hits": resumed["store_hits"],
+    }
+    print(
+        "daemon kill-and-restart smoke: PASS "
+        f"(killed after '{KILL_STAGE}', resumed front {verdict['front_sha'][:12]}..., "
+        f"{verdict['resumed_store_hits']} artifacts streamed from the store)"
+    )
+    return verdict
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--child", action="store_true", help="run one daemon world")
+    parser.add_argument("--store", help="artifact store directory (child mode)")
+    parser.add_argument("--kill-after", help="os._exit after this cycle-2 stage checkpoint")
+    parser.add_argument("--check", action="store_true", help="run the 3-process smoke (default)")
+    args = parser.parse_args(argv)
+    if args.child:
+        if not args.store:
+            parser.error("--child requires --store")
+        print(json.dumps(run_child(args.store, args.kill_after)))
+        return 0
+    run_check()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

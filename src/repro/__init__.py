@@ -13,6 +13,7 @@ The package is organized by subsystem:
 * :mod:`repro.optimizer` -- plan search (NSGA-II, DRL crossover, Atlas GA, baselines);
 * :mod:`repro.recommend` -- the Atlas advisor facade and plan hierarchy;
 * :mod:`repro.monitoring` -- post-migration drift detection and breach detection;
+* :mod:`repro.serving` -- durable fleet serving (on-disk artifact store, advisor daemon);
 * :mod:`repro.analysis` -- experiment pipelines reproducing the paper's figures.
 
 Quick start::
@@ -45,6 +46,7 @@ from .quality import (
     WorstCase,
 )
 from .recommend import Atlas, AtlasConfig, Recommendation
+from .serving import AdvisorDaemon, ArtifactStore
 
 __version__ = "1.0.0"
 
@@ -52,6 +54,8 @@ __all__ = [
     "__version__",
     "Atlas",
     "AtlasConfig",
+    "AdvisorDaemon",
+    "ArtifactStore",
     "Recommendation",
     "MigrationPlan",
     "MigrationPreferences",

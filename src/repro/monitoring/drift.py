@@ -156,6 +156,33 @@ class DriftDetector:
     def apis(self) -> List[str]:
         return sorted(self._real)
 
+    # -- durable checkpointing ---------------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """JSON-able snapshot of the detector's baselines (daemon checkpoint payload).
+
+        The detector is a pure function of its two baseline distributions plus the
+        two tunables, so ``DriftDetector.from_state(detector.state())`` reproduces
+        its drift verdicts exactly — what lets the
+        :class:`~repro.serving.daemon.AdvisorDaemon` persist its monitoring state
+        across process restarts.
+        """
+        return {
+            "approx": {api: [float(x) for x in v] for api, v in self._approx.items()},
+            "real": {api: [float(x) for x in v] for api, v in self._real.items()},
+            "threshold_factor": float(self.threshold_factor),
+            "bins": int(self.bins),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "DriftDetector":
+        """Rebuild a detector from a :meth:`state` snapshot (bitwise-equivalent)."""
+        return cls(
+            approx_latencies=state["approx"],
+            real_latencies=state["real"],
+            threshold_factor=float(state["threshold_factor"]),
+            bins=int(state["bins"]),
+        )
+
     def baseline_divergence(self, api: str) -> float:
         """D_KL(b_real, b_approx): the approximation error accepted at recommendation time."""
         return kl_divergence(self._real[api], self._approx[api], bins=self.bins)

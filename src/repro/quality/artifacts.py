@@ -27,12 +27,14 @@ path fingerprint-locked.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Iterable, Sequence, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cluster.network import NetworkModel
     from ..learning.footprint import NetworkFootprint
+    from ..serving.store import ArtifactStore
     from ..telemetry.tracing import Trace
 
 __all__ = [
@@ -94,6 +96,17 @@ def fingerprint_network(network: "NetworkModel") -> str:
     return _sha(parts)
 
 
+class _Flight:
+    """One in-progress compile: racing threads park on ``done`` instead of rebuilding."""
+
+    __slots__ = ("done", "value", "failed")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: object = None
+        self.failed = False
+
+
 class ArtifactCache:
     """Bounded LRU of compiled artifacts keyed by content fingerprints.
 
@@ -106,50 +119,129 @@ class ArtifactCache:
     are treated as immutable by every consumer, so sharing one physical artifact
     between models is safe.
 
+    The cache is thread-safe with **single-flight** builds: one short-critical-
+    section mutex guards the LRU map and the counters, while compiles run with
+    no lock held (compiles nest — a fused-program build compiles per-API sets
+    through the same cache).  N threads racing on one fingerprint trigger
+    exactly one ``build()``; the racers park on the flight and are served its
+    result as hits.  A failed build releases the flight so a parked racer
+    becomes the next builder (an exception is never cached).
+
+    ``store`` (opt-in) is the durable second tier — an
+    :class:`~repro.serving.store.ArtifactStore` consulted on every miss before
+    compiling, and written through on every build, so a fresh process pointed at
+    a populated store recovers its artifacts instead of recompiling.  A
+    defective stored object degrades to a recompile.  ``store=None`` (the
+    default) keeps the in-memory-only behaviour byte-identical.
+
     ``hits`` / ``misses`` / ``evictions`` counters make warm-path behaviour
-    observable in benchmarks and tests; ``max_entries`` bounds residency with
-    least-recently-used eviction.
+    observable in benchmarks and tests (``store_hits`` counts misses answered
+    from disk); ``max_entries`` bounds residency with least-recently-used
+    eviction.
     """
 
-    def __init__(self, max_entries: int = 256) -> None:
+    def __init__(
+        self, max_entries: int = 256, store: Optional["ArtifactStore"] = None
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = int(max_entries)
+        self.store = store
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._flights: Dict[Tuple, _Flight] = {}
+        self._mu = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.store_hits = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mu:
+            return len(self._entries)
 
     def __contains__(self, key: Tuple) -> bool:
-        return key in self._entries
+        with self._mu:
+            return key in self._entries
 
     def get_or_build(self, key: Tuple, build: Callable[[], object]) -> object:
         """The artifact for ``key`` — cached if seen before, else ``build()`` + remember."""
+        while True:
+            with self._mu:
+                try:
+                    value = self._entries[key]
+                except KeyError:
+                    flight = self._flights.get(key)
+                    if flight is None:
+                        flight = _Flight()
+                        self._flights[key] = flight
+                        self.misses += 1
+                        building = True
+                    else:
+                        building = False
+                else:
+                    self.hits += 1
+                    self._entries.move_to_end(key)
+                    return value
+            if building:
+                return self._run_flight(key, flight, build)
+            flight.done.wait()
+            if not flight.failed:
+                with self._mu:
+                    self.hits += 1
+                return flight.value
+            # The builder raised: race again — one parked thread rebuilds.
+
+    def _run_flight(self, key: Tuple, flight: _Flight, build: Callable[[], object]) -> object:
+        """Build (or restore from the durable tier) with no lock held, then publish."""
         try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            value = build()
+            value = self._restore(key)
+            if value is None:
+                value = build()
+                self._persist(key, value)
+        except BaseException:
+            flight.failed = True
+            with self._mu:
+                self._flights.pop(key, None)
+            flight.done.set()
+            raise
+        with self._mu:
             self._entries[key] = value
+            self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
-        else:
-            self.hits += 1
-            self._entries.move_to_end(key)
+            self._flights.pop(key, None)
+        flight.value = value
+        flight.done.set()
         return value
 
+    def _restore(self, key: Tuple) -> Optional[object]:
+        if self.store is None:
+            return None
+        value = self.store.load(key)
+        if value is not None:
+            with self._mu:
+                self.store_hits += 1
+        return value
+
+    def _persist(self, key: Tuple, value: object) -> None:
+        if self.store is not None:
+            self.store.save(key, value)
+
     def stats(self) -> Dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        """Consistent counter snapshot (taken under the cache mutex)."""
+        with self._mu:
+            stats = {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+            if self.store is not None:
+                stats["store_hits"] = self.store_hits
+            return stats
 
     def clear(self) -> None:
         """Drop every entry (counters keep accumulating — they describe the lifetime)."""
-        self._entries.clear()
+        with self._mu:
+            self._entries.clear()

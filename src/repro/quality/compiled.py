@@ -379,6 +379,17 @@ class CompiledTraceSet:
                 setattr(ops, name, arena.share(getattr(ops, name)))
         self._shm_backed = True
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickled sets are private copies: shm backing does not survive a process.
+
+        Serializing an shm-backed set copies the array contents into the payload
+        (numpy pickles by value), so the deserialized set must not claim — and,
+        via the idempotence guard, must not refuse — a fresh ``share_memory``.
+        """
+        state = dict(self.__dict__)
+        state["_shm_backed"] = False
+        return state
+
     # -- compilation -----------------------------------------------------------------------
     def _compile_one(
         self,

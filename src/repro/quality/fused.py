@@ -265,6 +265,24 @@ class FusedProgram:
                     setattr(level, name, arena.share(getattr(level, name)))
             self._shm_float32 = True
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Serialize only the canonical program state.
+
+        The merged-level views, the float32 mirror and the packed JIT operand
+        tuple are derived caches rebuilt lazily on first replay — dropping them
+        keeps payloads small and, like :meth:`CompiledTraceSet.__getstate__`,
+        resets the shm flags: a deserialized program owns private arrays and may
+        be freshly exported to a new arena.
+        """
+        state = dict(self.__dict__)
+        state["_merged64"] = []
+        state["_merged32"] = []
+        state["_root_start32"] = np.empty(0, dtype=np.float32)
+        state["_packed"] = None
+        state["_shm_backed"] = False
+        state["_shm_float32"] = False
+        return state
+
     # -- replay ----------------------------------------------------------------------------
     def _merged_levels(self, dtype) -> List["_MergedLevel"]:
         """Per-level ops with the sp/ss families merged into one scatter (lazy).

@@ -22,9 +22,10 @@ Everything Atlas consumes comes from the :class:`~repro.telemetry.server.Telemet
 from __future__ import annotations
 
 import dataclasses
+import threading
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING, Union
 
 from ..apps.model import Application
 from ..cluster.network import NetworkModel, default_network_model
@@ -60,6 +61,9 @@ from ..quality.scenario_factory import ScenarioFactory
 from ..quality.scenarios import RobustAggregator, ScenarioSet, ScenarioSpec, WorstCase
 from ..telemetry.server import TelemetryServer
 from .hierarchy import PlanHierarchy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serving.store import ArtifactStore
 
 __all__ = [
     "AtlasConfig",
@@ -482,32 +486,11 @@ class Atlas:
         :attr:`Recommendation.certificate`.  ``certify=True`` uses the default
         evaluation budget; an integer sets the budget explicitly.
         """
-        if problem is not None:
-            if scenarios is not None or aggregator is not None:
-                raise ValueError(
-                    "pass scenarios/aggregator on the problem "
-                    "(PlacementProblem.with_scenarios) when using problem=..."
-                )
-            if preferences is not None and problem.preferences is not None:
-                raise ValueError(
-                    "preferences were given both directly and on the problem"
-                )
-        else:
-            if aggregator is not None and scenarios is None:
-                raise ValueError(
-                    "aggregator only applies to scenario-robust recommendation; "
-                    "pass scenarios=... as well"
-                )
-            if scenarios is not None:
-                _warn_legacy_kwargs("scenarios" if aggregator is None else "scenarios/aggregator")
-            problem = PlacementProblem.default(
-                scenarios=scenarios,
-                aggregator=(aggregator or WorstCase()) if scenarios is not None else None,
-            )
-        preferences = (
-            problem.preferences
-            if problem.preferences is not None
-            else (preferences or self.preferences)
+        problem, preferences = self._resolve_problem(
+            preferences=preferences,
+            scenarios=scenarios,
+            aggregator=aggregator,
+            problem=problem,
         )
         evaluator = self.build_evaluator(
             expected_scale=expected_scale,
@@ -546,6 +529,51 @@ class Atlas:
                 evaluator, recommendation.knee_point().plan, budget=budget
             )
         return recommendation
+
+    def _resolve_problem(
+        self,
+        preferences: Optional[MigrationPreferences] = None,
+        scenarios: Optional[
+            Union[ScenarioSet, ScenarioSpec, Sequence[ScenarioSpec]]
+        ] = None,
+        aggregator: Optional[RobustAggregator] = None,
+        problem: Optional[PlacementProblem] = None,
+    ) -> Tuple[PlacementProblem, MigrationPreferences]:
+        """Validate the problem/preferences arguments and apply the legacy shim.
+
+        The single definition of what :meth:`recommend` optimizes for a given set
+        of request arguments — shared with the :class:`AdvisorService` durable
+        journal, whose revive path must rebuild the *same* evaluator a journaled
+        search ran under.
+        """
+        if problem is not None:
+            if scenarios is not None or aggregator is not None:
+                raise ValueError(
+                    "pass scenarios/aggregator on the problem "
+                    "(PlacementProblem.with_scenarios) when using problem=..."
+                )
+            if preferences is not None and problem.preferences is not None:
+                raise ValueError(
+                    "preferences were given both directly and on the problem"
+                )
+        else:
+            if aggregator is not None and scenarios is None:
+                raise ValueError(
+                    "aggregator only applies to scenario-robust recommendation; "
+                    "pass scenarios=... as well"
+                )
+            if scenarios is not None:
+                _warn_legacy_kwargs("scenarios" if aggregator is None else "scenarios/aggregator")
+            problem = PlacementProblem.default(
+                scenarios=scenarios,
+                aggregator=(aggregator or WorstCase()) if scenarios is not None else None,
+            )
+        preferences = (
+            problem.preferences
+            if problem.preferences is not None
+            else (preferences or self.preferences)
+        )
+        return problem, preferences
 
     def certify_plan(
         self,
@@ -758,33 +786,69 @@ class AdvisorService:
     The memo returns the cached :class:`Recommendation` object itself; requests
     whose arguments cannot be described by content (an object with a default
     ``repr``) skip the memo but still warm the artifact cache.
+
+    ``store`` (opt-in) makes the warmth durable: an
+    :class:`~repro.serving.store.ArtifactStore` becomes the second tier of the
+    artifact cache *and* the journal of the request memo.  A journaled request
+    served by a fresh process revives the recommendation from the durable search
+    result — the evaluator is rebuilt against the warm artifact tier, no search
+    runs — which is sound for exactly the reason the memo is: the seeded search
+    is deterministic, so the journaled result *is* what a re-run would produce.
+    The service is thread-safe: the caches single-flight racing requests, so N
+    tenants racing on one fingerprint trigger exactly one compile/search.
     """
+
+    #: Atlas.recommend arguments the journal revive path knows how to honor; a
+    #: journaled request carrying anything else falls back to a cold recommend.
+    _REVIVABLE_KWARGS = frozenset(
+        {
+            "expected_scale",
+            "api_rates",
+            "preferences",
+            "ga_config",
+            "scenarios",
+            "aggregator",
+            "problem",
+            "certify",
+            "parallel",
+            "anytime",
+        }
+    )
 
     def __init__(
         self,
         cache: Optional[ArtifactCache] = None,
         max_recommendations: int = 32,
+        store: Optional["ArtifactStore"] = None,
     ) -> None:
+        #: Durable second tier (artifacts + request journal); None = in-memory only.
+        self.store = store
         #: Compiled-artifact cache shared by every evaluator this service builds.
-        self.cache = cache if cache is not None else ArtifactCache()
+        self.cache = cache if cache is not None else ArtifactCache(store=store)
         #: Request-level memo: full recommendation fingerprint -> Recommendation.
         self.recommendations = ArtifactCache(max_entries=max_recommendations)
         self._tenants: Dict[str, Atlas] = {}
+        self._mu = threading.Lock()
+        self.journal_hits = 0
+        self.journal_misses = 0
 
     # -- tenants ----------------------------------------------------------------------------
     def register(self, name: str, atlas: Atlas) -> Atlas:
         """Register a tenant's advisor under ``name`` (returned for chaining)."""
-        self._tenants[name] = atlas
+        with self._mu:
+            self._tenants[name] = atlas
         return atlas
 
     def tenant(self, name: str) -> Atlas:
-        if name not in self._tenants:
-            raise KeyError(f"no tenant registered under {name!r}")
-        return self._tenants[name]
+        with self._mu:
+            if name not in self._tenants:
+                raise KeyError(f"no tenant registered under {name!r}")
+            return self._tenants[name]
 
     @property
     def tenants(self) -> List[str]:
-        return sorted(self._tenants)
+        with self._mu:
+            return sorted(self._tenants)
 
     # -- serving ----------------------------------------------------------------------------
     def recommend(self, atlas: Union[str, Atlas], **kwargs) -> Recommendation:
@@ -795,7 +859,9 @@ class AdvisorService:
         service's shared artifact cache).  When the request's content fingerprint —
         learned traces, footprint, network, estimator state, current plan, config
         and every argument — matches a previous call, the memoized recommendation
-        is returned without recompiling or re-searching.
+        is returned without recompiling or re-searching; with a ``store``, a
+        fingerprint journaled by an earlier *process* revives without re-searching
+        either.
         """
         if isinstance(atlas, str):
             atlas = self.tenant(atlas)
@@ -803,15 +869,100 @@ class AdvisorService:
         if key is None:
             return atlas.recommend(artifact_cache=self.cache, **kwargs)
         return self.recommendations.get_or_build(
-            key, lambda: atlas.recommend(artifact_cache=self.cache, **kwargs)
+            key, lambda: self._serve(atlas, key, kwargs)
         )
+
+    def _serve(self, atlas: Atlas, key: Tuple, kwargs: Mapping[str, object]) -> Recommendation:
+        """Memo-miss path: revive from the durable journal, else search and journal."""
+        revived = self._revive(atlas, key, kwargs)
+        if revived is not None:
+            with self._mu:
+                self.journal_hits += 1
+            return revived
+        if self.store is not None:
+            with self._mu:
+                self.journal_misses += 1
+        recommendation = atlas.recommend(artifact_cache=self.cache, **kwargs)
+        if self.store is not None:
+            self.store.save(
+                ("journal",) + key,
+                {
+                    "version": 1,
+                    "result": recommendation.result,
+                    "certificate": recommendation.certificate,
+                },
+            )
+        return recommendation
+
+    def _revive(
+        self, atlas: Atlas, key: Tuple, kwargs: Mapping[str, object]
+    ) -> Optional[Recommendation]:
+        """Rebuild a journaled recommendation without running the search.
+
+        The journal persists the deterministic search *output* (the
+        :class:`~repro.optimizer.atlas_ga.SearchResult`, plain data); the live
+        parts of a :class:`Recommendation` — the evaluator over the learned
+        models — are rebuilt through the warm artifact tier.  Scenario-robust
+        requests additionally re-score the journaled plan pool in one batched
+        pass so regret reporting sees the same evaluated set (bitwise, per the
+        batched-evaluation determinism contract).  Any defect — missing entry,
+        version skew, unexpected argument, evaluation mismatch — degrades to a
+        cold recommend, never a crash.
+        """
+        if self.store is None or not set(kwargs) <= self._REVIVABLE_KWARGS:
+            return None
+        entry = self.store.load(("journal",) + key)
+        if not isinstance(entry, dict) or entry.get("version") != 1:
+            return None
+        try:
+            result: SearchResult = entry["result"]
+            certificate = entry.get("certificate")
+            if kwargs.get("certify") and certificate is None:
+                return None
+            problem, preferences = atlas._resolve_problem(
+                preferences=kwargs.get("preferences"),
+                scenarios=kwargs.get("scenarios"),
+                aggregator=kwargs.get("aggregator"),
+                problem=kwargs.get("problem"),
+            )
+            evaluator = atlas.build_evaluator(
+                expected_scale=kwargs.get("expected_scale", 1.0),
+                api_rates=kwargs.get("api_rates"),
+                preferences=preferences,
+                problem=problem,
+                artifact_cache=self.cache,
+            )
+            if problem.scenarios is not None:
+                pool = result.all_evaluated or result.pareto
+                evaluator.evaluate_batch([quality.plan for quality in pool])
+            return Recommendation(
+                result=result,
+                evaluator=evaluator,
+                estimate=evaluator.estimate,
+                preferences=preferences,
+                scenario_set=problem.scenarios,
+                aggregator=(
+                    evaluator.bound_aggregator if problem.scenarios is not None else None
+                ),
+                problem=problem,
+                certificate=certificate,
+            )
+        except Exception:
+            return None
 
     def stats(self) -> Dict[str, Dict[str, int]]:
         """Warm-path observability: artifact-cache and request-memo counters."""
-        return {
+        stats = {
             "artifacts": self.cache.stats(),
             "recommendations": self.recommendations.stats(),
         }
+        if self.store is not None:
+            with self._mu:
+                stats["journal"] = {
+                    "hits": self.journal_hits,
+                    "misses": self.journal_misses,
+                }
+        return stats
 
     # -- request fingerprinting -------------------------------------------------------------
     def _request_key(self, atlas: Atlas, kwargs: Mapping[str, object]) -> Optional[Tuple]:

@@ -1,0 +1,24 @@
+"""Durable fleet serving: the on-disk artifact tier and the continuous re-planning daemon.
+
+:mod:`repro.quality.artifacts` made repeated serving warm *within* one process;
+this package makes that warmth survive process restarts and concurrent access:
+
+* :class:`ArtifactStore` -- content-addressed, versioned, atomic-rename on-disk
+  second tier behind :class:`~repro.quality.artifacts.ArtifactCache` (and the
+  durable journal behind the :class:`~repro.recommend.advisor.AdvisorService`
+  request memo);
+* :class:`AdvisorDaemon` -- the continuous re-planning loop (poll monitors ->
+  drift check -> splice -> recertify -> re-recommend) as a scheduled, restartable
+  service with checkpointed loop state.
+"""
+
+from .daemon import AdvisorDaemon, MonitorSample, ScriptedMonitor, TenantCycleReport
+from .store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "AdvisorDaemon",
+    "MonitorSample",
+    "ScriptedMonitor",
+    "TenantCycleReport",
+]

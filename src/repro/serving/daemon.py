@@ -1,0 +1,444 @@
+"""The continuous re-planning loop as a restartable, checkpointed service.
+
+The paper's serving story is a loop, not a function call: after a plan is
+executed, Atlas keeps polling the monitoring plane, checks the measured latency
+distributions for drift, splices re-profiled traces into its learned state,
+re-certifies the executed plan and — when the footprints are outdated — runs a
+fresh recommendation round.  :class:`AdvisorDaemon` is that loop as a scheduled
+service over an :class:`~repro.recommend.advisor.AdvisorService`:
+
+* **Stage machine** — each tenant's cycle advances through
+  ``poll -> drift -> splice -> recertify -> recommend -> done``; after every
+  stage the loop state (cycle index, stage, executed plan vector, drift-detector
+  baselines) is checkpointed to the service's durable store, and the polled
+  monitor sample is persisted alongside it.
+* **Restartability** — a daemon killed mid-cycle resumes from the checkpoint on
+  restart: the in-flight cycle replays its remaining stages from the *persisted*
+  sample (never a re-poll), every stage is idempotent and deterministic given
+  that sample, and the re-recommend lands on the service's request memo /
+  durable journal — so the resumed run's answers are bitwise-identical to an
+  uninterrupted run, and the compiled world is recovered from the artifact
+  store instead of rebuilt.
+
+Monitors implement one method, ``poll(tenant, cycle) -> Optional[MonitorSample]``.
+The cycle index is passed so scripted monitors (tests, the kill-and-restart
+smoke) can be pure functions of ``(tenant, cycle)`` — a restarted process then
+observes exactly the samples the killed one did.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
+
+from ..cluster.placement import MigrationPlan
+from ..monitoring.drift import DriftDetector
+from ..telemetry.tracing import Trace
+from ..workload.profiles import WorkloadScenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..recommend.advisor import AdvisorService, Atlas, Recommendation
+    from .store import ArtifactStore
+
+__all__ = [
+    "MonitorSample",
+    "ScriptedMonitor",
+    "TenantCycleReport",
+    "AdvisorDaemon",
+]
+
+#: Stage order of one tenant cycle (``drift``..``recertify`` are skipped while
+#: bootstrapping, i.e. before a first recommendation established baselines).
+STAGES = ("poll", "drift", "splice", "recertify", "recommend", "done")
+
+
+@dataclass
+class MonitorSample:
+    """One observation window from the monitoring plane for one tenant.
+
+    ``recent_latencies`` are the per-API latency samples measured since the last
+    cycle (what drift is judged on); ``traces_by_api`` optionally carries the
+    re-profiled trace window per API (the splice payload); ``scenario`` the
+    workload description the tenant currently runs under (enables
+    recertification against a drift-refreshed scenario).
+    """
+
+    recent_latencies: Dict[str, List[float]]
+    traces_by_api: Dict[str, List[Trace]] = field(default_factory=dict)
+    scenario: Optional[WorkloadScenario] = None
+
+
+class ScriptedMonitor:
+    """Deterministic monitor: a fixed sample per ``(tenant, cycle)`` position.
+
+    ``samples[tenant][cycle - 1]`` is returned for cycle ``cycle`` (cycles are
+    1-based); positions past the script's end return ``None`` (idle).  Being a
+    pure function of its arguments, a restarted process scripting the same
+    samples observes exactly what the killed one did — the property the
+    kill-and-restart smoke relies on.
+    """
+
+    def __init__(self, samples: Mapping[str, Sequence[Optional[MonitorSample]]]) -> None:
+        self._samples = {tenant: list(seq) for tenant, seq in samples.items()}
+
+    def poll(self, tenant: str, cycle: int) -> Optional[MonitorSample]:
+        script = self._samples.get(tenant, [])
+        index = cycle - 1
+        if 0 <= index < len(script):
+            return script[index]
+        return None
+
+
+@dataclass
+class TenantCycleReport:
+    """What one tenant's cycle did (observability; the durable record is the checkpoint)."""
+
+    tenant: str
+    cycle: int
+    stages: List[str] = field(default_factory=list)
+    idle: bool = False
+    drifted: List[str] = field(default_factory=list)
+    spliced: List[str] = field(default_factory=list)
+    recertified: bool = False
+    recommended: bool = False
+    front_sha: Optional[str] = None
+    error: Optional[str] = None
+
+
+def front_digest(recommendation: "Recommendation") -> str:
+    """Content digest of a recommendation's front (plan vectors + repr-exact objectives)."""
+    payload = [
+        (quality.plan.to_vector(), [repr(v) for v in quality.objectives()])
+        for quality in recommendation.plans
+    ]
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+def _new_record() -> Dict[str, object]:
+    return {
+        "cycle": 0,
+        "stage": "done",
+        "executed": None,
+        "components": None,
+        "detector": None,
+        "drifted": [],
+        "front_sha": None,
+    }
+
+
+@dataclass
+class _Tenant:
+    atlas: "Atlas"
+    kwargs: Dict[str, object]
+
+
+class AdvisorDaemon:
+    """Scheduled continuous re-planning over an :class:`AdvisorService`.
+
+    ``service.store`` (when set) makes the daemon restartable: loop state is
+    checkpointed after every stage under ``state/daemon-<name>.json`` and polled
+    samples are persisted as store objects, so a new process constructing the
+    daemon over the same store resumes the in-flight cycle instead of starting
+    over.  Without a store the daemon still runs — state just dies with the
+    process.
+
+    ``certify_budget`` (optional) re-certifies the executed plan against the
+    drift-refreshed scenario before re-recommending (the loop's ``recertify``
+    stage); it needs the previous round's live recommendation, so the stage is
+    recorded as skipped on the first cycle after a restart.
+
+    ``run_cycle()`` advances every tenant synchronously (what tests call);
+    :meth:`start` runs it on a background thread every ``interval_s`` seconds.
+    """
+
+    def __init__(
+        self,
+        service: "AdvisorService",
+        monitor,
+        name: str = "atlas",
+        interval_s: float = 60.0,
+        certify_budget: Optional[int] = None,
+    ) -> None:
+        self.service = service
+        self.monitor = monitor
+        self.name = name
+        self.interval_s = float(interval_s)
+        self.certify_budget = certify_budget
+        self.store: Optional["ArtifactStore"] = service.store
+        self._tenants: Dict[str, _Tenant] = {}
+        self._records: Dict[str, Dict[str, object]] = {}
+        self._live: Dict[str, "Recommendation"] = {}
+        self._mu = threading.RLock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.last_error: Optional[str] = None
+        #: Test seam: called as ``hook(tenant, stage)`` after each stage checkpoint
+        #: (the kill-and-restart smoke uses it to die mid-cycle at a chosen stage).
+        self._after_stage: Optional[Callable[[str, str], None]] = None
+        self._load_checkpoint()
+
+    # -- tenants -----------------------------------------------------------------------
+    def register(self, name: str, atlas: "Atlas", **recommend_kwargs) -> None:
+        """Add one tenant to the loop; ``recommend_kwargs`` parameterize its rounds.
+
+        A checkpointed record for ``name`` (from a previous process) is kept —
+        registration re-attaches the live :class:`Atlas` to the durable state.
+        """
+        with self._mu:
+            self._tenants[name] = _Tenant(atlas=atlas, kwargs=dict(recommend_kwargs))
+            self._records.setdefault(name, _new_record())
+
+    @property
+    def tenants(self) -> List[str]:
+        with self._mu:
+            return sorted(self._tenants)
+
+    def record(self, name: str) -> Dict[str, object]:
+        """A copy of one tenant's checkpointed loop record (observability)."""
+        with self._mu:
+            return dict(self._records[name])
+
+    # -- the loop ----------------------------------------------------------------------
+    def run_cycle(self) -> List[TenantCycleReport]:
+        """Advance every registered tenant by one cycle (or finish its in-flight one)."""
+        with self._mu:
+            names = sorted(self._tenants)
+        return [self._advance(name) for name in names]
+
+    def start(self) -> None:
+        """Run :meth:`run_cycle` every ``interval_s`` seconds on a daemon thread."""
+        with self._mu:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name=f"advisor-daemon-{self.name}", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.run_cycle()
+            except Exception:  # keep the service alive; surface via last_error
+                self.last_error = traceback.format_exc()
+            self._stop.wait(self.interval_s)
+
+    # -- one tenant cycle --------------------------------------------------------------
+    def _advance(self, name: str) -> TenantCycleReport:
+        with self._mu:
+            tenant = self._tenants[name]
+            record = self._records.setdefault(name, _new_record())
+        if record["stage"] == "done":
+            record["cycle"] = int(record["cycle"]) + 1
+            record["stage"] = "poll"
+        cycle = int(record["cycle"])
+        report = TenantCycleReport(tenant=name, cycle=cycle)
+
+        # poll: live monitors are consulted exactly once per cycle; a resumed
+        # cycle replays from the persisted sample, never from a second poll.
+        if record["stage"] == "poll":
+            report.stages.append("poll")
+            sample = self.monitor.poll(name, cycle)
+            if sample is None:
+                record["stage"] = "done"
+                report.idle = True
+                self._checkpoint(name, "poll")
+                return report
+            self._save_sample(name, cycle, sample)
+            record["stage"] = "drift" if record["detector"] is not None else "recommend"
+            self._checkpoint(name, "poll")
+        else:
+            sample = self._load_sample(name, cycle)
+            if sample is None:
+                # The durable sample is gone (wiped store): abandon the in-flight
+                # cycle; the next cycle re-polls.  Degraded, never crashed.
+                record["stage"] = "done"
+                report.error = "persisted sample lost; cycle abandoned"
+                self._checkpoint(name, "abandon")
+                return report
+            if record["drifted"] and record["stage"] in ("recertify", "recommend"):
+                # Resuming past the splice checkpoint in a fresh process: the
+                # splice's effect lived in the dead process's knowledge, so it is
+                # re-applied here (idempotent by content) before continuing.
+                self._splice(tenant.atlas, record, sample)
+
+        if record["stage"] == "drift":
+            report.stages.append("drift")
+            detector = DriftDetector.from_state(record["detector"])
+            reports = detector.check_all(sample.recent_latencies)
+            report.drifted = sorted(
+                api for api, outcome in reports.items() if outcome.drift_detected
+            )
+            record["drifted"] = list(report.drifted)
+            record["stage"] = "splice" if report.drifted else "done"
+            self._checkpoint(name, "drift")
+            if not report.drifted:
+                return report
+
+        if record["stage"] == "splice":
+            report.stages.append("splice")
+            report.spliced = self._splice(tenant.atlas, record, sample)
+            record["stage"] = "recertify"
+            self._checkpoint(name, "splice")
+
+        if record["stage"] == "recertify":
+            report.stages.append("recertify")
+            report.recertified = self._recertify(name, tenant, record, sample)
+            record["stage"] = "recommend"
+            self._checkpoint(name, "recertify")
+
+        if record["stage"] == "recommend":
+            report.stages.append("recommend")
+            recommendation = self.service.recommend(tenant.atlas, **tenant.kwargs)
+            knee = recommendation.knee_point().plan
+            record["executed"] = [int(v) for v in knee.to_vector()]
+            record["components"] = list(knee.components)
+            record["detector"] = self._baseline_state(
+                tenant.atlas, recommendation, knee, sample
+            )
+            record["front_sha"] = front_digest(recommendation)
+            record["drifted"] = []
+            record["stage"] = "done"
+            with self._mu:
+                self._live[name] = recommendation
+            report.recommended = True
+            report.front_sha = record["front_sha"]
+            self._checkpoint(name, "recommend")
+        return report
+
+    # -- stage bodies ------------------------------------------------------------------
+    @staticmethod
+    def _splice(
+        atlas: "Atlas", record: Dict[str, object], sample: MonitorSample
+    ) -> List[str]:
+        """Install the drifted APIs' re-profiled trace windows into the learned state.
+
+        Replacing ``ApiProfile.sample_traces`` changes the knowledge's content
+        fingerprint for exactly those APIs, so the following re-recommend compiles
+        only them (splice path) and lands on a new request-memo key.  Idempotent:
+        a resumed cycle installing the same persisted traces is a no-op by content.
+        """
+        knowledge = atlas.knowledge
+        if knowledge is None:
+            return []
+        spliced: List[str] = []
+        for api in record["drifted"]:
+            traces = sample.traces_by_api.get(api)
+            profile = knowledge.api_profiles.get(api)
+            if traces and profile is not None:
+                knowledge.api_profiles[api] = dataclasses.replace(
+                    profile, sample_traces=list(traces)
+                )
+                spliced.append(api)
+        return spliced
+
+    def _recertify(
+        self,
+        name: str,
+        tenant: _Tenant,
+        record: Dict[str, object],
+        sample: MonitorSample,
+    ) -> bool:
+        """Re-certify the executed plan under the refreshed workload (best-effort).
+
+        Runs only when certification is configured and the previous round's live
+        recommendation (with its certificate) is still in memory — certificates
+        describe the *outgoing* plan, so after a restart the stage is skipped and
+        the incoming re-recommend simply supersedes it.
+        """
+        last = self._live.get(name)
+        if (
+            not self.certify_budget
+            or last is None
+            or last.certificate is None
+            or sample.scenario is None
+            or not record["executed"]
+        ):
+            return False
+        try:
+            detector = DriftDetector.from_state(record["detector"])
+            update = detector.check_all(
+                sample.recent_latencies,
+                scenario=sample.scenario,
+                traces_by_api=sample.traces_by_api,
+            )
+            executed = MigrationPlan.from_vector(
+                list(record["components"]), list(record["executed"])
+            )
+            tenant.atlas.recertify(
+                last, executed, update, budget=int(self.certify_budget)
+            )
+            return True
+        except Exception:
+            self.last_error = traceback.format_exc()
+            return False
+
+    @staticmethod
+    def _baseline_state(
+        atlas: "Atlas",
+        recommendation: "Recommendation",
+        executed: MigrationPlan,
+        sample: MonitorSample,
+    ) -> Dict[str, object]:
+        """Fresh drift baselines for the newly executed plan.
+
+        ``approx`` is the advisor's own latency preview of the plan; ``real`` is
+        proxied by the cycle's measured window (the best ground truth available
+        until the next sample arrives) — the construction of
+        :meth:`Atlas.drift_detector <repro.recommend.advisor.Atlas.drift_detector>`.
+        """
+        measured = {api: list(v) for api, v in sample.recent_latencies.items()}
+        return atlas.drift_detector(recommendation, executed, measured).state()
+
+    # -- durable state -----------------------------------------------------------------
+    def _state_name(self) -> str:
+        return f"daemon-{self.name}"
+
+    def _sample_key(self, tenant: str, cycle: int):
+        return ("daemon-sample", self.name, tenant, int(cycle))
+
+    def _save_sample(self, tenant: str, cycle: int, sample: MonitorSample) -> None:
+        if self.store is not None:
+            self.store.save(self._sample_key(tenant, cycle), sample)
+
+    def _load_sample(self, tenant: str, cycle: int) -> Optional[MonitorSample]:
+        if self.store is None:
+            return None
+        sample = self.store.load(self._sample_key(tenant, cycle))
+        return sample if isinstance(sample, MonitorSample) else None
+
+    def _checkpoint(self, tenant: str, stage: str) -> None:
+        if self.store is not None:
+            with self._mu:
+                state = {"version": 1, "tenants": self._records}
+                self.store.save_state(self._state_name(), state)
+        hook = self._after_stage
+        if hook is not None:
+            hook(tenant, stage)
+
+    def _load_checkpoint(self) -> None:
+        if self.store is None:
+            return
+        state = self.store.load_state(self._state_name())
+        if (
+            isinstance(state, dict)
+            and state.get("version") == 1
+            and isinstance(state.get("tenants"), dict)
+        ):
+            defaults = _new_record()
+            self._records = {
+                tenant: {**defaults, **record}
+                for tenant, record in state["tenants"].items()
+                if isinstance(record, dict)
+            }

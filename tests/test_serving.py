@@ -1,0 +1,521 @@
+"""Durable fleet serving: the on-disk artifact store, concurrent cache, and daemon.
+
+Three contracts from the serving tier:
+
+* **Store round-trip is bitwise** — ``load(save(artifact))`` reproduces compiled
+  trace sets, fused programs and Δ tables bit for bit on random topologies, and
+  any damaged frame (truncation, corruption, version skew) degrades to ``None``
+  — a clean recompile, never an exception.
+* **Single-flight concurrency** — N threads racing on one fingerprint run
+  exactly one compile; the LRU bound and the hit/miss/eviction counters stay
+  coherent under contention.
+* **Restartability** — a fresh process over a populated store serves
+  recommendations from the durable journal without searching, and a daemon
+  killed after any stage checkpoint resumes to the bitwise-identical front an
+  uninterrupted run produces.
+"""
+
+import copy
+import tempfile
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fingerprints import build_tiny_evaluator
+from test_artifacts import TINY_GA, _assert_bitwise, _perturb
+from test_compiled import random_delays, random_trace
+
+from repro.optimizer.atlas_ga import AtlasGA
+from repro.quality import CompiledTraceSet, FusedProgram, MigrationPreferences
+from repro.quality.artifacts import ArtifactCache
+from repro.quality.compiled import ShmArena
+from repro.recommend import AdvisorService, Atlas, AtlasConfig
+from repro.serving import (
+    AdvisorDaemon,
+    ArtifactStore,
+    MonitorSample,
+    ScriptedMonitor,
+)
+from repro.serving.daemon import front_digest
+
+
+def _random_compiled(rng):
+    traces = [random_trace(rng, f"t{k}") for k in range(int(rng.integers(1, 5)))]
+    edges = sorted({edge for trace in traces for edge in trace.invocation_edges()})
+    return CompiledTraceSet(traces, edges)
+
+
+def _random_program(rng):
+    compiled_by_api = {
+        f"/api{k}": _random_compiled(rng) for k in range(int(rng.integers(2, 5)))
+    }
+    return FusedProgram(compiled_by_api, sorted(compiled_by_api))
+
+
+# -- the store itself -------------------------------------------------------------------------
+class TestArtifactStore:
+    def test_save_load_discard(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = ("compiled", "sha", 3)
+        assert store.load(key) is None
+        assert store.save(key, {"x": [1, 2, 3]})
+        assert store.load(key) == {"x": [1, 2, 3]}
+        store.discard(key)
+        assert store.load(key) is None
+        store.discard(key)  # idempotent
+
+    def test_unpicklable_value_degrades_to_false(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.save(("bad",), lambda: None) is False
+        assert store.load(("bad",)) is None
+
+    def test_state_tier_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.load_state("daemon-x") is None
+        assert store.save_state("daemon-x", {"version": 1, "tenants": {}})
+        assert store.load_state("daemon-x") == {"version": 1, "tenants": {}}
+        # Unserializable state degrades to False, never an exception.
+        assert store.save_state("daemon-x", {"bad": object()}) is False
+
+    def test_publication_is_atomic_no_temp_litter(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        for i in range(8):
+            store.save(("k", i), list(range(i)))
+        litter = [
+            p
+            for p in (tmp_path / "store").rglob("*")
+            if p.is_file() and p.suffix not in (".art", ".json")
+        ]
+        assert litter == []
+
+
+# -- bitwise round-trip over random topologies ------------------------------------------------
+class TestStoreRoundTripBitwise:
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=20, deadline=None)
+    def test_compiled_set_round_trips_bitwise(self, seed):
+        rng = np.random.default_rng(seed)
+        compiled = _random_compiled(rng)
+        with tempfile.TemporaryDirectory() as root:
+            store = ArtifactStore(root)
+            assert store.save(("c",), compiled)
+            loaded = store.load(("c",))
+        assert isinstance(loaded, CompiledTraceSet)
+        _assert_bitwise(compiled, loaded)
+        delays = random_delays(rng, list(compiled.edge_index))
+        assert loaded.latencies(delays) == compiled.latencies(delays)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=15, deadline=None)
+    def test_fused_program_round_trips_bitwise(self, seed):
+        rng = np.random.default_rng(seed)
+        program = _random_program(rng)
+        with tempfile.TemporaryDirectory() as root:
+            store = ArtifactStore(root)
+            assert store.save(("f",), program)
+            loaded = store.load(("f",))
+        assert isinstance(loaded, FusedProgram)
+        _assert_bitwise(program, loaded)
+        rows = rng.uniform(0.0, 60.0, size=(3, program.total_edges))
+        assert np.array_equal(loaded.replay(rows), program.replay(rows))
+        assert loaded.replay(rows).tobytes() == program.replay(rows).tobytes()
+
+    def test_delta_table_round_trips_bitwise(self, tiny_telemetry, tmp_path):
+        app, result = tiny_telemetry
+        evaluator = build_tiny_evaluator(app, result.telemetry)
+        model = evaluator.performance
+        api = model.apis[0]
+        table = model._delta_table(api, 2)
+        store = ArtifactStore(tmp_path / "store")
+        assert store.save(("delta", api), table)
+        loaded = store.load(("delta", api))
+        assert loaded[0] == table[0]
+        for left, right in zip(table[1:], loaded[1:]):
+            assert left.dtype == right.dtype
+            assert left.tobytes() == right.tobytes()
+
+    def test_shared_memory_artifact_reloads_as_private_and_reshareable(self):
+        rng = np.random.default_rng(11)
+        compiled = _random_compiled(rng)
+        pristine = _random_compiled(np.random.default_rng(11))
+        program = _random_program(rng)
+        arena = ShmArena()
+        try:
+            compiled.share_memory(arena)
+            program.share_memory(arena, float32=True)
+            assert compiled._shm_backed and program._shm_backed
+            with tempfile.TemporaryDirectory() as root:
+                store = ArtifactStore(root)
+                assert store.save(("c",), compiled)
+                assert store.save(("f",), program)
+                loaded_compiled = store.load(("c",))
+                loaded_program = store.load(("f",))
+        finally:
+            arena.release()
+        # Deserialized artifacts own private pages: flags reset, contents bitwise.
+        assert loaded_compiled._shm_backed is False
+        assert loaded_program._shm_backed is False
+        assert loaded_program._shm_float32 is False
+        _assert_bitwise(pristine, loaded_compiled)
+        # ...and they are freshly shareable into a new arena.
+        arena2 = ShmArena()
+        try:
+            loaded_compiled.share_memory(arena2)
+            loaded_program.share_memory(arena2)
+            assert loaded_compiled._shm_backed and loaded_program._shm_backed
+        finally:
+            arena2.release()
+
+
+# -- damaged frames degrade, never crash ------------------------------------------------------
+class TestStoreDegradation:
+    def _saved(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        compiled = _random_compiled(np.random.default_rng(5))
+        assert store.save(("c",), compiled)
+        return store, store.path_for(("c",))
+
+    def test_truncation_at_any_point_degrades_to_none(self, tmp_path):
+        store, path = self._saved(tmp_path)
+        blob = path.read_bytes()
+        for cut in (0, 1, 10, len(blob) // 2, len(blob) - 1):
+            path.write_bytes(blob[:cut])
+            assert store.load(("c",)) is None
+        path.write_bytes(blob)
+        assert store.load(("c",)) is not None  # sanity: the frame itself was fine
+
+    def test_flipped_payload_byte_degrades_to_none(self, tmp_path):
+        store, path = self._saved(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert store.load(("c",)) is None
+
+    def test_version_skew_and_bad_magic_degrade_to_none(self, tmp_path):
+        store, path = self._saved(tmp_path)
+        blob = path.read_bytes()
+        header, _, payload = blob.partition(b"\n")
+        fields = header.split(b" ")
+        skewed = b"atlas-store/999 " + b" ".join(fields[1:]) + b"\n" + payload
+        path.write_bytes(skewed)
+        assert store.load(("c",)) is None
+        path.write_bytes(b"not-a-store/1 " + b" ".join(fields[1:]) + b"\n" + payload)
+        assert store.load(("c",)) is None
+
+    def test_cache_over_corrupted_store_recompiles(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        warm = ArtifactCache(store=store)
+        warm.get_or_build(("k",), lambda: [1, 2, 3])
+        store.path_for(("k",)).write_bytes(b"garbage")
+        builds = []
+        cold = ArtifactCache(store=store)
+        value = cold.get_or_build(("k",), lambda: builds.append(1) or [1, 2, 3])
+        assert value == [1, 2, 3]
+        assert builds == [1]  # store miss -> clean recompile, not a crash
+        assert cold.stats()["store_hits"] == 0
+
+    def test_fresh_cache_over_populated_store_never_builds(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        warm = ArtifactCache(store=store)
+        compiled = _random_compiled(np.random.default_rng(9))
+        warm.get_or_build(("c",), lambda: compiled)
+        cold = ArtifactCache(store=store)
+        loaded = cold.get_or_build(
+            ("c",), lambda: pytest.fail("warm restart must not rebuild")
+        )
+        _assert_bitwise(compiled, loaded)
+        assert cold.stats()["store_hits"] == 1
+
+
+# -- single-flight concurrency ----------------------------------------------------------------
+class TestConcurrentCache:
+    def test_single_flight_exactly_one_build_per_fingerprint(self):
+        cache = ArtifactCache()
+        n_threads = 16
+        barrier = threading.Barrier(n_threads)
+        builds, results = [], []
+
+        def build():
+            builds.append(1)  # list.append is atomic; >1 entries means >1 builds
+            threading.Event().wait(0.05)  # hold the flight open while racers pile up
+            return object()
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get_or_build(("hot",), build))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+        assert len(set(id(r) for r in results)) == 1
+        stats = cache.stats()
+        assert stats["misses"] == 1  # the claimer
+        assert stats["hits"] == n_threads - 1  # every parked racer
+        assert stats["entries"] == 1
+
+    def test_failed_build_releases_the_flight(self):
+        cache = ArtifactCache()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("transient compile failure")
+            return "ok"
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_build(("k",), flaky)
+        assert cache.get_or_build(("k",), flaky) == "ok"  # flight was not wedged
+        assert len(attempts) == 2
+
+    def test_counters_and_lru_bound_under_contention(self):
+        max_entries, n_threads, ops = 8, 8, 200
+        cache = ArtifactCache(max_entries=max_entries)
+        builds = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(ops):
+                key = ("k", int(rng.integers(0, 32)))
+                value = cache.get_or_build(key, lambda k=key: builds.append(1) or k)
+                assert value == key  # never served another key's artifact
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = cache.stats()
+        assert len(cache) <= max_entries
+        assert stats["hits"] + stats["misses"] == n_threads * ops
+        assert stats["misses"] == len(builds)  # every miss ran exactly one build
+        assert stats["evictions"] == stats["misses"] - stats["entries"]
+
+    def test_store_none_stats_shape_is_unchanged(self):
+        cache = ArtifactCache()
+        cache.get_or_build(("k",), lambda: 1)
+        assert set(cache.stats()) == {"entries", "hits", "misses", "evictions"}
+
+
+# -- the durable journal ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_learned_atlas(tiny_telemetry):
+    """One learned Atlas over the tiny app; tests deep-copy it for isolation."""
+    app, result = tiny_telemetry
+    atlas = Atlas(
+        app,
+        MigrationPreferences.pin_on_prem(["Database"]),
+        config=AtlasConfig(traces_per_api=15, ga=TINY_GA),
+    )
+    atlas.learn(result.telemetry)
+    return atlas
+
+
+def _clone(atlas):
+    return copy.deepcopy(atlas)
+
+
+def _poison_search(monkeypatch):
+    def poisoned(self, *args, **kwargs):
+        raise AssertionError("the warm path must not run a search")
+
+    monkeypatch.setattr(AtlasGA, "run", poisoned)
+
+
+class TestDurableJournal:
+    def test_warm_restart_revives_without_search(
+        self, tmp_path, tiny_learned_atlas, monkeypatch
+    ):
+        store_dir = tmp_path / "store"
+        cold_service = AdvisorService(store=ArtifactStore(store_dir))
+        cold = cold_service.recommend(_clone(tiny_learned_atlas), expected_scale=2.0)
+        assert cold_service.stats()["journal"] == {"hits": 0, "misses": 1}
+
+        # "New process": fresh service, fresh cache, fresh atlas — search poisoned.
+        _poison_search(monkeypatch)
+        warm_service = AdvisorService(store=ArtifactStore(store_dir))
+        warm = warm_service.recommend(_clone(tiny_learned_atlas), expected_scale=2.0)
+        assert front_digest(warm) == front_digest(cold)
+        assert warm_service.stats()["journal"] == {"hits": 1, "misses": 0}
+
+        # The revived recommendation is live: previews come from a real evaluator
+        # whose compiled artifacts stream in from the store, not a recompile.
+        knee = warm.knee_point().plan
+        cold_preview = cold.latency_preview(knee)
+        warm_preview = warm.latency_preview(knee)
+        assert sorted(warm_preview) == sorted(cold_preview)
+        for api, estimate in warm_preview.items():
+            assert list(estimate.estimated_latencies_ms) == list(
+                cold_preview[api].estimated_latencies_ms
+            )
+        assert warm_service.cache.stats()["store_hits"] > 0
+
+    def test_corrupted_journal_falls_back_to_cold_search(
+        self, tmp_path, tiny_learned_atlas
+    ):
+        store_dir = tmp_path / "store"
+        service = AdvisorService(store=ArtifactStore(store_dir))
+        cold = service.recommend(_clone(tiny_learned_atlas), expected_scale=2.0)
+        for art in store_dir.rglob("*.art"):
+            art.write_bytes(b"garbage")
+        fallback_service = AdvisorService(store=ArtifactStore(store_dir))
+        again = fallback_service.recommend(_clone(tiny_learned_atlas), expected_scale=2.0)
+        assert fallback_service.stats()["journal"] == {"hits": 0, "misses": 1}
+        assert front_digest(again) == front_digest(cold)  # determinism, not memory
+
+    def test_storeless_service_has_no_journal_stats(self, tiny_learned_atlas):
+        service = AdvisorService()
+        assert "journal" not in service.stats()
+
+
+# -- the continuous re-planning loop ----------------------------------------------------------
+@pytest.fixture(scope="module")
+def daemon_script(tiny_learned_atlas):
+    """A deterministic 2-cycle monitor script: on-model, then one API drifts hard.
+
+    Cycle 1 reports exactly the advisor's own latency preview (baselines become
+    zero-divergence). Cycle 2 inflates one API's latencies 6x and supplies a
+    re-profiled trace window for it — guaranteed drift on that API only, in any
+    process that replays the script.
+    """
+    atlas = _clone(tiny_learned_atlas)
+    rec = AdvisorService().recommend(atlas, expected_scale=2.0)
+    knee = rec.knee_point().plan
+    preview = {
+        api: [float(x) for x in estimate.estimated_latencies_ms]
+        for api, estimate in rec.latency_preview(knee).items()
+    }
+    target = sorted(preview)[0]
+    drifted = {
+        api: ([v * 6.0 + 25.0 for v in values] if api == target else list(values))
+        for api, values in preview.items()
+    }
+    window = [
+        _perturb(trace, 1.7)
+        for trace in atlas.knowledge.api_profiles[target].sample_traces
+    ]
+    samples = [
+        MonitorSample(recent_latencies=preview),
+        MonitorSample(recent_latencies=drifted, traces_by_api={target: window}),
+    ]
+    return target, samples
+
+
+def _make_daemon(store_dir, atlas, samples):
+    service = AdvisorService(store=ArtifactStore(store_dir)) if store_dir else AdvisorService()
+    daemon = AdvisorDaemon(service, ScriptedMonitor({"web": samples}), name="t")
+    daemon.register("web", atlas, expected_scale=2.0)
+    return daemon
+
+
+@pytest.fixture(scope="module")
+def reference_run(tmp_path_factory, tiny_learned_atlas, daemon_script):
+    """The uninterrupted 3-cycle run every kill-and-restart case must reproduce."""
+    _, samples = daemon_script
+    daemon = _make_daemon(
+        tmp_path_factory.mktemp("ref-store"), _clone(tiny_learned_atlas), samples
+    )
+    reports = [daemon.run_cycle()[0] for _ in range(3)]
+    return daemon, reports
+
+
+class _Crash(RuntimeError):
+    pass
+
+
+class TestAdvisorDaemon:
+    def test_continuous_replanning_flow(self, reference_run, daemon_script):
+        daemon, (bootstrap, drift, idle) = reference_run
+        target, _ = daemon_script
+        # Cycle 1: no baselines yet -> poll feeds a first recommendation round.
+        assert bootstrap.stages == ["poll", "recommend"]
+        assert bootstrap.recommended and not bootstrap.drifted
+        # Cycle 2: drift on exactly the scripted API -> splice -> re-recommend.
+        assert drift.stages == ["poll", "drift", "splice", "recertify", "recommend"]
+        assert drift.drifted == [target] and drift.spliced == [target]
+        assert drift.recommended
+        assert drift.front_sha is not None
+        # Cycle 3: the script is exhausted -> idle, loop state stays 'done'.
+        assert idle.idle and not idle.stages[1:]
+        record = daemon.record("web")
+        assert record["front_sha"] == drift.front_sha
+        assert record["stage"] == "done" and record["cycle"] == 3
+        assert record["executed"] is not None and record["detector"] is not None
+
+    def test_on_model_cycle_stops_at_drift(self, tmp_path, tiny_learned_atlas, daemon_script):
+        _, samples = daemon_script
+        on_model = [samples[0], MonitorSample(recent_latencies=samples[0].recent_latencies)]
+        daemon = _make_daemon(tmp_path / "store", _clone(tiny_learned_atlas), on_model)
+        bootstrap, steady = [daemon.run_cycle()[0] for _ in range(2)]
+        assert bootstrap.recommended
+        assert steady.stages == ["poll", "drift"]
+        assert not steady.drifted and not steady.recommended
+        assert daemon.record("web")["front_sha"] == bootstrap.front_sha
+
+    def test_storeless_daemon_still_loops(self, tiny_learned_atlas, daemon_script):
+        _, samples = daemon_script
+        daemon = _make_daemon(None, _clone(tiny_learned_atlas), samples)
+        bootstrap = daemon.run_cycle()[0]
+        assert bootstrap.recommended
+
+    @pytest.mark.parametrize("crash_stage", ["poll", "splice", "recommend"])
+    def test_kill_after_any_checkpoint_resumes_bitwise(
+        self, tmp_path, tiny_learned_atlas, daemon_script, reference_run, crash_stage
+    ):
+        target, samples = daemon_script
+        _, (_, reference, _) = reference_run
+        store_dir = tmp_path / "store"
+        daemon = _make_daemon(store_dir, _clone(tiny_learned_atlas), samples)
+        daemon.run_cycle()  # cycle 1 bootstraps cleanly
+
+        def bomb(tenant, stage):
+            if stage == crash_stage:
+                raise _Crash(stage)
+
+        daemon._after_stage = bomb
+        with pytest.raises(_Crash):
+            daemon.run_cycle()  # cycle 2 dies right after the checkpoint
+
+        # "Process restart": everything in memory is gone — new service, cache,
+        # daemon and a freshly learned (cloned) atlas over the same store.
+        resumed = _make_daemon(store_dir, _clone(tiny_learned_atlas), samples)
+        report = resumed.run_cycle()[0]
+        record = resumed.record("web")
+        assert record["front_sha"] == reference.front_sha
+        assert record["executed"] is not None
+        if crash_stage == "recommend":
+            # The cycle had completed; the resumed process just finds it done.
+            assert report.idle and report.cycle == 3
+        else:
+            assert report.cycle == 2 and report.recommended
+            assert report.front_sha == reference.front_sha
+            # The resumed compile streamed the untouched APIs from the store.
+            assert resumed.service.cache.stats()["store_hits"] > 0
+
+    def test_lost_sample_abandons_cycle_without_crashing(
+        self, tmp_path, tiny_learned_atlas, daemon_script
+    ):
+        _, samples = daemon_script
+        store_dir = tmp_path / "store"
+        daemon = _make_daemon(store_dir, _clone(tiny_learned_atlas), samples)
+        daemon.run_cycle()
+
+        def bomb(tenant, stage):
+            if stage == "poll":
+                raise _Crash(stage)
+
+        daemon._after_stage = bomb
+        with pytest.raises(_Crash):
+            daemon.run_cycle()
+        for art in store_dir.rglob("*.art"):  # wipe every object, keep the state tier
+            art.unlink()
+        resumed = _make_daemon(store_dir, _clone(tiny_learned_atlas), samples)
+        report = resumed.run_cycle()[0]
+        assert report.error is not None and not report.recommended
+        assert resumed.record("web")["stage"] == "done"
